@@ -1,0 +1,42 @@
+//! Criterion bench: simulator throughput (simulated instructions per
+//! second), the analogue of the paper's "7.8 K instructions per second on
+//! a 1 GHz Pentium III" figure for its C model (§2.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use s64v_core::{PerformanceModel, SystemConfig};
+use s64v_workloads::{Suite, SuiteKind};
+
+fn sim_speed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_speed");
+    group.sample_size(10);
+    for kind in [SuiteKind::SpecInt95, SuiteKind::SpecFp95, SuiteKind::Tpcc] {
+        let suite = Suite::preset(kind);
+        let program = &suite.programs()[0];
+        let records = 30_000usize;
+        let trace = program.generate(records + 200_000, 7);
+        let model = PerformanceModel::new(SystemConfig::sparc64_v());
+        group.throughput(Throughput::Elements(records as u64));
+        group.bench_with_input(BenchmarkId::new("up", kind.label()), &trace, |b, t| {
+            b.iter(|| model.run_trace_warm(t, 200_000));
+        });
+    }
+    group.finish();
+}
+
+fn generation_speed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    for kind in [SuiteKind::SpecInt95, SuiteKind::Tpcc] {
+        let suite = Suite::preset(kind);
+        let program = suite.programs()[0].clone();
+        let records = 100_000usize;
+        group.throughput(Throughput::Elements(records as u64));
+        group.bench_function(BenchmarkId::new("generate", kind.label()), |b| {
+            b.iter(|| program.generate(records, 7));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sim_speed, generation_speed);
+criterion_main!(benches);

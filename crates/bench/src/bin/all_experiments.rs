@@ -1,0 +1,54 @@
+//! Runs every experiment harness (T-1, E-07…E-19) in sequence.
+//!
+//! Each experiment is also available as its own binary; this runner simply
+//! execs them so one command regenerates the whole evaluation section.
+
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "table1",
+    "fig07_breakdown",
+    "fig08_issue_width",
+    "fig09_bht",
+    "fig10_bpred_miss",
+    "fig11_l1",
+    "fig12_l1i_miss",
+    "fig13_l1d_miss",
+    "fig14_l2",
+    "fig15_l2_miss",
+    "fig16_prefetch",
+    "fig17_prefetch_miss",
+    "fig18_rs",
+    "fig19_accuracy",
+    // Extensions beyond the paper's figures:
+    "verify_model",
+    "ablation",
+    "ablation_window",
+    "ablation_bus",
+    "cpi_stack",
+    "stability",
+    "workloads_report",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for bin in BINS {
+        let path = dir.join(bin);
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("experiment {bin} failed: {other:?}");
+                failures.push(*bin);
+            }
+        }
+        println!();
+    }
+    if !failures.is_empty() {
+        eprintln!("failed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+    println!("all experiments completed");
+}

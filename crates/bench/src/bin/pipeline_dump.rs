@@ -1,0 +1,53 @@
+//! Per-instruction pipeline timeline dump — the model-side half of the
+//! paper's instruction-by-instruction comparison against the logic
+//! simulator (§2.2). Prints the stage timestamps of the first N timed
+//! instructions of a workload.
+
+use s64v_bench::banner;
+use s64v_core::SystemConfig;
+use s64v_cpu::Core;
+use s64v_mem::MemorySystem;
+use s64v_stats::Table;
+use s64v_trace::SliceStream;
+use s64v_workloads::{Suite, SuiteKind};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    banner(
+        "Pipeline timeline dump",
+        "§2.2 (per-instruction verification)",
+        "stage times are monotone; replays mark cancelled speculative dispatches",
+    );
+    let cfg = SystemConfig::sparc64_v();
+    let suite = Suite::preset(SuiteKind::SpecInt95);
+    let trace = suite.programs()[0].generate(50_000 + n, 42);
+
+    let mut mem = MemorySystem::new(cfg.mem.clone(), 1);
+    let mut core = Core::new(cfg.core.clone(), 0);
+    for rec in &trace.records()[..50_000] {
+        core.warm(&mut mem, rec);
+    }
+    core.enable_timeline(n);
+    let mut stream = SliceStream::new(&trace.records()[50_000..]);
+    core.run(&mut mem, &mut stream);
+
+    let mut t = Table::with_headers(&[
+        "seq", "pc", "op", "decode", "dispatch", "complete", "commit", "replays",
+    ]);
+    for e in core.timeline().expect("enabled").entries() {
+        t.row(vec![
+            e.seq.to_string(),
+            format!("{:#x}", e.pc),
+            e.op.to_string(),
+            e.decoded_at.to_string(),
+            e.dispatched_at.map_or("-".into(), |v| v.to_string()),
+            e.completed_at.map_or("-".into(), |v| v.to_string()),
+            e.committed_at.map_or("-".into(), |v| v.to_string()),
+            e.replays.to_string(),
+        ]);
+    }
+    print!("{t}");
+}

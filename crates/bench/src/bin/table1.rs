@@ -1,0 +1,102 @@
+//! T-1: prints Table 1, the SPARC64 V microarchitecture parameters, as
+//! configured in the model.
+
+use s64v_core::SystemConfig;
+use s64v_stats::Table;
+
+fn main() {
+    let cfg = SystemConfig::sparc64_v();
+    let core = &cfg.core;
+    let mem = &cfg.mem;
+
+    s64v_bench::banner(
+        "Table 1 — Microarchitecture",
+        "Table 1",
+        "the model's base configuration reproduces the published parameters",
+    );
+
+    let mut t = Table::with_headers(&["parameter", "value"]);
+    let kib = |b: u64| format!("{} KB", b / 1024);
+    t.row(vec![
+        "Instruction set architecture".into(),
+        "SPARC-V9 (op-class model)".into(),
+    ]);
+    t.row(vec![
+        "Execution control method".into(),
+        "Out-of-order superscalar".into(),
+    ]);
+    t.row(vec![
+        "Issue number".into(),
+        format!("{}-way", core.issue_width),
+    ]);
+    t.row(vec![
+        "Instruction window".into(),
+        format!("{} instructions", core.window_size),
+    ]);
+    t.row(vec![
+        "Instruction fetch width".into(),
+        format!(
+            "{} bytes ({} instructions)",
+            core.fetch_block_bytes, core.fetch_width
+        ),
+    ]);
+    t.row(vec![
+        "Branch history table".into(),
+        format!(
+            "{}-way, {}K-entry, {}-cycle",
+            core.bht.ways,
+            core.bht.entries / 1024,
+            core.bht.access_cycles
+        ),
+    ]);
+    t.row(vec![
+        "Execution units".into(),
+        "Fixed-point: 2, Floating-point: 2 (multiply-add), Address generator: 2".into(),
+    ]);
+    t.row(vec![
+        "Reservation stations".into(),
+        format!(
+            "RSE: {}({}/{}) fixed-point, RSF: {}({}/{}) floating-point, RSA: {}, RSBR: {}",
+            2 * core.rse_entries,
+            core.rse_entries,
+            core.rse_entries,
+            2 * core.rsf_entries,
+            core.rsf_entries,
+            core.rsf_entries,
+            core.rsa_entries,
+            core.rsbr_entries
+        ),
+    ]);
+    t.row(vec![
+        "Renaming registers".into(),
+        format!(
+            "Fixed-point: {}, Floating-point: {}",
+            core.int_rename_regs, core.fp_rename_regs
+        ),
+    ]);
+    t.row(vec![
+        "Load/Store queue".into(),
+        format!("{}/{} entries", core.load_queue, core.store_queue),
+    ]);
+    t.row(vec![
+        "Level 1 cache (I/D)".into(),
+        format!("{}-way, {}", mem.l1i.ways, kib(mem.l1i.capacity_bytes)),
+    ]);
+    t.row(vec![
+        "L1 operand banks".into(),
+        format!("{} × {} bytes", mem.l1d_banks, mem.l1d_bank_bytes),
+    ]);
+    t.row(vec![
+        "Level 2 cache".into(),
+        format!(
+            "On-chip {}-way {} MB",
+            mem.l2.ways,
+            mem.l2.capacity_bytes >> 20
+        ),
+    ]);
+    t.row(vec![
+        "Hardware prefetch".into(),
+        format!("enabled, degree {}", mem.prefetch_degree),
+    ]);
+    s64v_bench::emit("table1", &t);
+}

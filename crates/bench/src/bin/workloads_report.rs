@@ -1,0 +1,11 @@
+//! Prints every workload preset's calibrated parameters (§4.1 analogue):
+//! the exact knobs this reproduction's synthetic traces are built from.
+
+fn main() {
+    s64v_bench::banner(
+        "Workload presets",
+        "§4.1 (workload and trace generation)",
+        "parameters behind the synthetic SPEC CPU95/2000 and TPC-C traces",
+    );
+    print!("{}", s64v_workloads::describe::full_report());
+}

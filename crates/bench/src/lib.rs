@@ -1,0 +1,142 @@
+//! Shared plumbing for the figure-harness binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see `DESIGN.md`'s experiment index). They all run
+//! the same workload set through [`s64v_core`]'s suite runners and print
+//! the rows the paper plots; run sizes are controlled by environment
+//! variables so CI smoke runs and full reproductions share one binary:
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `S64V_RECORDS` | timed records per program | 150000 |
+//! | `S64V_WARMUP` | warm-up records per program | 2000000 |
+//! | `S64V_SMP_CPUS` | CPUs in the TPC-C SMP model | 16 |
+//! | `S64V_SMP_RECORDS` | timed records per CPU (SMP) | 60000 |
+//! | `S64V_SMP_WARMUP` | warm-up records per CPU (SMP) | 600000 |
+//! | `S64V_SEED` | base RNG seed | 42 |
+
+use s64v_core::experiment::{run_suite_warm, run_tpcc_smp_warm, SuiteResult};
+use s64v_core::SystemConfig;
+use s64v_workloads::SuiteKind;
+
+/// Run sizes for a harness invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessOpts {
+    /// Timed records per uniprocessor program.
+    pub records: usize,
+    /// Warm-up records per uniprocessor program.
+    pub warmup: usize,
+    /// CPUs in the TPC-C SMP model.
+    pub smp_cpus: usize,
+    /// Timed records per CPU in the SMP model.
+    pub smp_records: usize,
+    /// Warm-up records per CPU in the SMP model.
+    pub smp_warmup: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl HarnessOpts {
+    /// Reads options from the environment (see the crate docs).
+    pub fn from_env() -> Self {
+        HarnessOpts {
+            records: env_usize("S64V_RECORDS", 150_000),
+            warmup: env_usize("S64V_WARMUP", 2_000_000),
+            smp_cpus: env_usize("S64V_SMP_CPUS", 16),
+            smp_records: env_usize("S64V_SMP_RECORDS", 60_000),
+            smp_warmup: env_usize("S64V_SMP_WARMUP", 600_000),
+            seed: env_usize("S64V_SEED", 42) as u64,
+        }
+    }
+
+    /// Small sizes for smoke tests.
+    pub fn smoke() -> Self {
+        HarnessOpts {
+            records: 8_000,
+            warmup: 40_000,
+            smp_cpus: 2,
+            smp_records: 4_000,
+            smp_warmup: 20_000,
+            seed: 42,
+        }
+    }
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// The five uniprocessor workloads in the paper's reporting order.
+pub const UP_SUITES: [SuiteKind; 5] = [
+    SuiteKind::SpecInt95,
+    SuiteKind::SpecFp95,
+    SuiteKind::SpecInt2000,
+    SuiteKind::SpecFp2000,
+    SuiteKind::Tpcc,
+];
+
+/// Runs every uniprocessor suite on `config`.
+pub fn run_up_suites(config: &SystemConfig, opts: &HarnessOpts) -> Vec<SuiteResult> {
+    UP_SUITES
+        .iter()
+        .map(|&kind| run_suite_warm(config, kind, opts.records, opts.warmup, opts.seed))
+        .collect()
+}
+
+/// Runs the TPC-C SMP model on `config` (overriding its CPU count).
+pub fn run_smp(config: &SystemConfig, opts: &HarnessOpts) -> SuiteResult {
+    let cfg = SystemConfig {
+        cpus: opts.smp_cpus,
+        ..config.clone()
+    };
+    run_tpcc_smp_warm(&cfg, opts.smp_records, opts.smp_warmup, opts.seed)
+}
+
+/// Prints a table and also writes it as CSV under `results/` (best
+/// effort — the directory is created if missing; failures only warn).
+pub fn emit(name: &str, table: &s64v_stats::Table) {
+    print!("{table}");
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.csv"));
+        if let Err(e) = std::fs::write(&path, table.to_csv()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+/// Prints the standard harness header for one experiment.
+pub fn banner(experiment: &str, paper_ref: &str, expectation: &str) {
+    println!("================================================================");
+    println!("{experiment}  [{paper_ref}]");
+    println!("paper expectation: {expectation}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults_parse() {
+        let o = HarnessOpts::from_env();
+        assert!(o.records > 0);
+        assert!(o.smp_cpus >= 1);
+    }
+
+    #[test]
+    fn smoke_is_small() {
+        let o = HarnessOpts::smoke();
+        assert!(o.records <= 10_000);
+        assert_eq!(o.smp_cpus, 2);
+    }
+}

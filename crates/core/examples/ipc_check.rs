@@ -1,0 +1,31 @@
+//! Quick calibration probe: per-suite IPC, miss ratios and simulator speed.
+use s64v_core::{PerformanceModel, SystemConfig};
+use s64v_workloads::{Suite, SuiteKind};
+use std::time::Instant;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+    let warmup: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    for kind in SuiteKind::ALL {
+        let suite = Suite::preset(kind);
+        let p = &suite.programs()[0];
+        let t = p.generate(n + warmup, 42);
+        let start = Instant::now();
+        let r = PerformanceModel::new(SystemConfig::sparc64_v()).run_trace_warm(&t, warmup);
+        let el = start.elapsed().as_secs_f64();
+        println!(
+            "{:<12} {:<10} ipc={:.3} cpi={:.2} l1i={:.4} l1d={:.4} l2d={:.4} bp={:.4} pf={} sim={:.0}k inst/s",
+            kind.label(), p.name(), r.ipc(), r.cpi(),
+            r.l1i_miss_ratio().value(), r.l1d_miss_ratio().value(),
+            r.l2_demand_miss_ratio().value(), r.mispredict_ratio().value(),
+            r.prefetches_issued(),
+            n as f64 / el / 1000.0
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Calibration probe: BHT displacement dynamics on the TPC-C branch stream.
+use s64v_cpu::{Bht, BhtConfig};
+use s64v_isa::OpClass;
+use s64v_workloads::suite::tpcc_program;
+
+fn main() {
+    let t = tpcc_program().generate(1_000_000, 42);
+    for cfg in [BhtConfig::large_16k_4w_2t(), BhtConfig::small_4k_2w_1t()] {
+        let mut bht = Bht::new(cfg);
+        let mut n = 0u64;
+        let mut wrong = 0u64;
+        let mut cold = 0u64;
+        for rec in t.iter() {
+            if rec.instr.op == OpClass::BranchCond {
+                let taken = rec.instr.branch.unwrap().taken;
+                if n > 50_000 {
+                    // measured window
+                    if !bht.has_entry(rec.pc) {
+                        cold += 1;
+                    }
+                    if bht.predict(rec.pc) != taken {
+                        wrong += 1;
+                    }
+                } else {
+                    let _ = bht.predict(rec.pc);
+                }
+                bht.update(rec.pc, taken);
+                n += 1;
+            }
+        }
+        println!(
+            "{:?}: branches={} mispredict={:.3} cold={:.3} occupancy={}",
+            cfg,
+            n,
+            wrong as f64 / (n - 50_000) as f64,
+            cold as f64 / (n - 50_000) as f64,
+            bht.occupancy()
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Calibration probe: Figure 7 breakdown per suite (first program).
+use s64v_core::{characterize_warm, SystemConfig};
+use s64v_workloads::{Suite, SuiteKind};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150_000);
+    for kind in SuiteKind::ALL {
+        let suite = Suite::preset(kind);
+        let p = &suite.programs()[0];
+        let t = p.generate(n + 2_000_000, 42);
+        let b = characterize_warm(&SystemConfig::sparc64_v(), &t, 2_000_000);
+        println!(
+            "{:<12} sx={:.2} ibs/tlb={:.2} branch={:.2} core={:.2}",
+            kind.label(),
+            b.sx,
+            b.ibs_tlb,
+            b.branch,
+            b.core
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Calibration probe: where do the cycles go for one program?
+use s64v_core::{PerformanceModel, SystemConfig};
+use s64v_cpu::Core;
+use s64v_mem::MemorySystem;
+use s64v_workloads::{Suite, SuiteKind};
+
+fn main() {
+    let suite = Suite::preset(SuiteKind::SpecInt95);
+    let p = &suite.programs()[0];
+    let n = 150_000;
+    let w = 1_000_000;
+    let t = p.generate(n + w, 42);
+
+    let cfg = SystemConfig::sparc64_v();
+    let mut mem = MemorySystem::new(cfg.mem.clone(), 1);
+    let mut core = Core::new(cfg.core.clone(), 0);
+    for rec in &t.records()[..w] {
+        core.warm(&mut mem, rec);
+    }
+    let mut stream = s64v_trace::SliceStream::new(&t.records()[w..]);
+    let cycles = core.run(&mut mem, &mut stream);
+    let s = core.stats();
+    let m = mem.stats(0);
+    println!(
+        "cycles={} committed={} cpi={:.2}",
+        cycles,
+        s.committed.get(),
+        cycles as f64 / s.committed.get() as f64
+    );
+    println!(
+        "bus: tx={} busy={} queue_delay={}",
+        mem.bus().transactions(),
+        mem.bus().busy_cycles(),
+        mem.bus().queue_delay_cycles()
+    );
+    println!(
+        "l1d acc={} miss={}  l2 demand acc={} miss={}  l2 all acc={} miss={}",
+        m.l1d.accesses.get(),
+        m.l1d.misses.get(),
+        m.l2_demand.accesses.get(),
+        m.l2_demand.misses.get(),
+        m.l2_all.accesses.get(),
+        m.l2_all.misses.get()
+    );
+    println!(
+        "l1i acc={} miss={} itlb miss={} dtlb miss={}",
+        m.l1i.accesses.get(),
+        m.l1i.misses.get(),
+        m.itlb.misses.get(),
+        m.dtlb.misses.get()
+    );
+    println!(
+        "pf issued={} useful={} writebacks={}",
+        m.prefetch_issued.get(),
+        m.prefetch_useful.get(),
+        m.writebacks.get()
+    );
+    println!(
+        "replays={} bank_conflicts={} mispredicts={}/{}",
+        s.replays.get(),
+        s.bank_conflicts.get(),
+        s.mispredicts.get(),
+        s.cond_branches.get()
+    );
+    println!(
+        "stalls: win={} rename={} rs={} lq={} sq={}",
+        s.stall_window.get(),
+        s.stall_rename.get(),
+        s.stall_rs.get(),
+        s.stall_lq.get(),
+        s.stall_sq.get()
+    );
+    println!(
+        "window occ mean={:.1} lq mean={:.1} sq mean={:.1}",
+        s.window_occupancy.mean(),
+        s.lq_occupancy.mean(),
+        s.sq_occupancy.mean()
+    );
+
+    // perfect L2 comparison
+    let cfg2 = SystemConfig::sparc64_v().with_mem(cfg.mem.clone().with_perfect_l2());
+    let r = PerformanceModel::new(cfg2).run_trace_warm(&t, w);
+    println!("perfect-l2 cycles={} cpi={:.2}", r.cycles, r.cpi());
+}

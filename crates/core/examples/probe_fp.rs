@@ -1,0 +1,61 @@
+//! Calibration probe: FP stream prefetch coverage.
+use s64v_core::{PerformanceModel, SystemConfig};
+use s64v_workloads::{Suite, SuiteKind};
+
+fn main() {
+    let suite = Suite::preset(
+        std::env::var("SUITE")
+            .ok()
+            .map(|v| match v.as_str() {
+                "tpcc" => SuiteKind::Tpcc,
+                "int" => SuiteKind::SpecInt2000,
+                _ => SuiteKind::SpecFp95,
+            })
+            .unwrap_or(SuiteKind::SpecFp95),
+    );
+    let p = &suite.programs()[0];
+    let t = p.generate(2_150_000, 42);
+    let model = PerformanceModel::new(SystemConfig::sparc64_v());
+    let r = model.run_trace_warm(&t, 2_000_000);
+    let m = &r.mem_stats[0];
+    println!(
+        "cpi={:.2} l1d={}/{} l2 demand={}/{} l2 all={}/{}",
+        r.cpi(),
+        m.l1d.misses.get(),
+        m.l1d.accesses.get(),
+        m.l2_demand.misses.get(),
+        m.l2_demand.accesses.get(),
+        m.l2_all.misses.get(),
+        m.l2_all.accesses.get()
+    );
+    println!(
+        "pf issued={} useful={}",
+        m.prefetch_issued.get(),
+        m.prefetch_useful.get()
+    );
+    // No-prefetch comparison.
+    let cfg = SystemConfig::sparc64_v();
+    let cfg = cfg.clone().with_mem(cfg.mem.clone().without_prefetch());
+    let r2 = PerformanceModel::new(cfg).run_trace_warm(&t, 2_000_000);
+    let m2 = &r2.mem_stats[0];
+    println!(
+        "no-pf: cpi={:.2} l2 demand={}/{}",
+        r2.cpi(),
+        m2.l2_demand.misses.get(),
+        m2.l2_demand.accesses.get()
+    );
+    println!("pf ipc gain = {:+.1}%", (r.ipc() / r2.ipc() - 1.0) * 100.0);
+    let cfg = SystemConfig::sparc64_v();
+    let cfg = cfg.clone().with_mem(cfg.mem.clone().with_perfect_l2());
+    let r3 = PerformanceModel::new(cfg).run_trace_warm(&t, 2_000_000);
+    println!(
+        "perfect-l2 cpi={:.2}  sx={:.2}",
+        r3.cpi(),
+        1.0 - r3.cycles as f64 / r.cycles as f64
+    );
+    println!(
+        "bus busy={} util={:.2} dram-ish",
+        r.bus_busy_cycles,
+        r.bus_utilization()
+    );
+}

@@ -1,0 +1,39 @@
+//! Calibration probe: which regions miss the L2 for an FP program
+//! without prefetch (raw two-level replay).
+use s64v_mem::cache::Cache;
+use s64v_mem::config::CacheGeometry;
+use s64v_workloads::{Suite, SuiteKind};
+use std::collections::HashMap;
+
+fn main() {
+    let suite = Suite::preset(SuiteKind::SpecFp95);
+    let t = suite.programs()[0].generate(2_150_000, 42);
+    let mut l1d = Cache::new(CacheGeometry::new(128 * 1024, 2, 4));
+    let mut l2 = Cache::new(CacheGeometry::new(2 * 1024 * 1024, 4, 12));
+    let mut miss: HashMap<u64, (u64, u64)> = HashMap::new();
+    for (i, rec) in t.iter().enumerate() {
+        let timed = i >= 2_000_000;
+        if let Some(m) = rec.instr.mem {
+            if !l1d.access(m.addr) {
+                l1d.fill(m.addr, false);
+                let l2hit = l2.access(m.addr);
+                if !l2hit {
+                    l2.fill(m.addr, false);
+                }
+                if timed {
+                    let e = miss.entry(m.addr >> 28).or_insert((0, 0));
+                    e.0 += 1;
+                    if !l2hit {
+                        e.1 += 1;
+                    }
+                }
+            }
+        }
+    }
+    let mut rows: Vec<_> = miss.into_iter().collect();
+    rows.sort();
+    for (r, (a, m)) in rows {
+        println!("region {:#11x}: l1d-misses={a} l2-misses={m}", r << 28);
+    }
+    println!("l2 occupancy {}/{}", l2.occupancy(), l2.geometry().lines());
+}

@@ -1,0 +1,79 @@
+//! Calibration probe: raw two-level miss decomposition for TPC-C.
+use s64v_mem::cache::Cache;
+use s64v_mem::config::CacheGeometry;
+use s64v_workloads::suite::tpcc_program;
+use std::collections::HashMap;
+
+fn main() {
+    let t = tpcc_program().generate(2_200_000, 42);
+    let mut l1d = Cache::new(CacheGeometry::new(128 * 1024, 2, 4));
+    let mut l1i = Cache::new(CacheGeometry::new(128 * 1024, 2, 4));
+    let l2_mb: u64 = std::env::var("L2MB")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let l2_ways: u32 = std::env::var("L2W")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let mut l2 = Cache::new(CacheGeometry::new(l2_mb * 1024 * 1024, l2_ways, 12));
+    let mut acc = 0u64;
+    let mut l1d_miss = 0u64;
+    let mut l2_miss: HashMap<&'static str, u64> = HashMap::new();
+    let mut l2_acc = 0u64;
+    let measure_from = 2_000_000;
+    for (i, rec) in t.iter().enumerate() {
+        let timed = i >= measure_from;
+        // I side (once per 32B block boundary approximation: every record)
+        if !l1i.access(rec.pc) {
+            l1i.fill(rec.pc, false);
+            if !l2.access(rec.pc) {
+                l2.fill(rec.pc, false);
+                if timed {
+                    *l2_miss.entry("code").or_insert(0) += 1;
+                }
+            }
+            if timed {
+                l2_acc += 1;
+            }
+        }
+        if let Some(m) = rec.instr.mem {
+            if timed {
+                acc += 1;
+            }
+            if !l1d.access(m.addr) {
+                l1d.fill(m.addr, false);
+                if timed {
+                    l1d_miss += 1;
+                    l2_acc += 1;
+                }
+                if !l2.access(m.addr) {
+                    l2.fill(m.addr, false);
+                    if timed {
+                        let region = match m.addr >> 28 {
+                            0x10 | 0x30 => "local",
+                            0x11 | 0x31 => "warm",
+                            0x12 | 0x32 => "mid",
+                            0x14..=0x17 | 0x34 | 0x35 => "cold",
+                            0x18 => "stream",
+                            0x20 => "shared",
+                            _ => "other",
+                        };
+                        *l2_miss.entry(region).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+    }
+    println!("timed mem acc={acc} l1d miss={l1d_miss} l2 accesses={l2_acc}");
+    let mut rows: Vec<_> = l2_miss.into_iter().collect();
+    rows.sort();
+    for (r, m) in rows {
+        println!("L2 miss [{r}] = {m}");
+    }
+    println!(
+        "l2 occupancy={} / {}",
+        l2.occupancy(),
+        l2.geometry().lines()
+    );
+}

@@ -1,0 +1,121 @@
+//! Benchmark characterization by cumulative idealization (Figure 7).
+//!
+//! The paper decomposes execution time with a sequence of idealized
+//! models: "We modeled a perfect L2 cache, a perfect L1 cache, perfect
+//! TLB, and perfect branch prediction, and then evaluate several models to
+//! find out the penalty of stalls" (§4.2). The reported components are:
+//!
+//! * **sx** — stalls caused by L2 misses,
+//! * **ibs/tlb** — stalls caused by L1 misses and TLB misses,
+//! * **branch** — stalls caused by branch prediction failures,
+//! * **core** — remaining execution time in the I-unit and E-unit.
+
+use crate::model::PerformanceModel;
+use crate::system::SystemConfig;
+use s64v_trace::VecTrace;
+
+/// Execution-time fractions (summing to 1) in the paper's Figure 7 order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Breakdown {
+    /// Fraction of time stalled on L2 misses ("sx").
+    pub sx: f64,
+    /// Fraction stalled on L1 misses and TLB misses ("ibs/tlb").
+    pub ibs_tlb: f64,
+    /// Fraction stalled on branch prediction failures ("branch").
+    pub branch: f64,
+    /// Remaining core execution time ("core").
+    pub core: f64,
+}
+
+impl Breakdown {
+    /// The four components as (label, fraction) pairs in figure order.
+    pub fn components(&self) -> [(&'static str, f64); 4] {
+        [
+            ("sx", self.sx),
+            ("ibs/tlb", self.ibs_tlb),
+            ("branch", self.branch),
+            ("core", self.core),
+        ]
+    }
+}
+
+/// Characterizes a trace on `config` by cumulative idealization, warming
+/// on the first `warmup` records (see
+/// [`PerformanceModel::run_trace_warm`]).
+///
+/// Each idealization is applied *on top of* the previous one, so the
+/// components add up to exactly 1.0 (negative intermediate differences,
+/// possible from second-order interactions, are clamped to zero).
+///
+/// # Panics
+///
+/// Panics if `warmup >= trace.len()`.
+pub fn characterize_warm(config: &SystemConfig, trace: &VecTrace, warmup: usize) -> Breakdown {
+    let run = |cfg: SystemConfig| -> f64 {
+        let model = PerformanceModel::new(cfg);
+        if warmup == 0 {
+            model.run_trace(trace).cycles as f64
+        } else {
+            model.run_trace_warm(trace, warmup).cycles as f64
+        }
+    };
+    let base = run(config.clone());
+
+    let perfect_l2 = config
+        .clone()
+        .with_mem(config.mem.clone().with_perfect_l2());
+    let t1 = run(perfect_l2.clone());
+
+    let perfect_l1 = perfect_l2
+        .clone()
+        .with_mem(perfect_l2.mem.clone().with_perfect_l1().with_perfect_tlb());
+    let t2 = run(perfect_l1.clone());
+
+    let perfect_branch = perfect_l1
+        .clone()
+        .with_core(perfect_l1.core.clone().with_perfect_branch_prediction());
+    let t3 = run(perfect_branch);
+
+    let sx = ((base - t1) / base).max(0.0);
+    let ibs_tlb = ((t1 - t2) / base).max(0.0);
+    let branch = ((t2 - t3) / base).max(0.0);
+    let core = (1.0 - sx - ibs_tlb - branch).max(0.0);
+    Breakdown {
+        sx,
+        ibs_tlb,
+        branch,
+        core,
+    }
+}
+
+/// [`characterize_warm`] without a warm-up prefix (cold caches).
+pub fn characterize(config: &SystemConfig, trace: &VecTrace) -> Breakdown {
+    characterize_warm(config, trace, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s64v_workloads::{Suite, SuiteKind};
+
+    #[test]
+    fn components_sum_to_one() {
+        let t = Suite::preset(SuiteKind::SpecInt95).programs()[4].generate(15_000, 7);
+        let b = characterize(&SystemConfig::sparc64_v(), &t);
+        let total: f64 = b.components().iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9, "components sum to {total}");
+        assert!(b.core > 0.0, "core time is never zero");
+    }
+
+    #[test]
+    fn fp_code_is_core_dominated() {
+        let t = Suite::preset(SuiteKind::SpecFp95).programs()[0].generate(15_000, 7);
+        let b = characterize(&SystemConfig::sparc64_v(), &t);
+        assert!(
+            b.core > b.branch,
+            "FP: core {} must dwarf branch stalls {}",
+            b.core,
+            b.branch
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! The SPARC64 V performance model: the paper's primary contribution.
+//!
+//! This crate assembles the detailed processor model ([`s64v_cpu`]) and the
+//! equally detailed memory-system model ([`s64v_mem`]) into the
+//! trace-driven system simulator the paper built *before hardware design
+//! started* and used through the whole project (§2):
+//!
+//! * [`system`] — [`SystemConfig`] (core + memory + CPU count) and
+//!   [`RunResult`] (cycles, IPC, every miss/mispredict/coherence ratio),
+//! * [`model`] — [`PerformanceModel`], the façade that runs uniprocessor
+//!   traces and lock-stepped SMP trace sets,
+//! * [`breakdown`] — the Figure 7 benchmark characterization by cumulative
+//!   idealization (perfect L2 → +perfect L1/TLB → +perfect branch),
+//! * [`versions`] — the Figure 19 model-version ladder v1…v8 (from
+//!   latency-only memory to full detail, with the v5 special-instruction
+//!   blip),
+//! * [`accuracy`] — the Figure 19 accuracy study against the "physical
+//!   machine" reference,
+//! * [`experiment`] — suite runners (parallel across programs) used by
+//!   every figure harness,
+//! * [`report`] — table builders shared by the harness binaries.
+
+pub mod accuracy;
+pub mod breakdown;
+pub mod experiment;
+pub mod model;
+pub mod reference;
+pub mod report;
+pub mod stability;
+pub mod sweep;
+pub mod system;
+pub mod versions;
+
+pub use breakdown::{characterize, characterize_warm, Breakdown};
+pub use experiment::{
+    run_suite, run_suite_warm, run_tpcc_smp, run_tpcc_smp_warm, ProgramResult, SuiteResult,
+};
+pub use model::PerformanceModel;
+pub use reference::{compare, ModelCheck, ReferenceMachine};
+pub use stability::{seed_study, seed_study_ratio, SeedStudy};
+pub use sweep::{DesignPoint, Sweep};
+pub use system::{RunResult, SystemConfig};
+pub use versions::ModelVersion;

@@ -1,0 +1,338 @@
+//! The performance-model façade.
+
+use crate::system::{RunResult, SystemConfig};
+use s64v_cpu::Core;
+use s64v_mem::MemorySystem;
+use s64v_trace::{SliceStream, TraceStream, VecTrace};
+
+/// The trace-driven performance model: a [`SystemConfig`] ready to run
+/// traces.
+///
+/// # Examples
+///
+/// ```
+/// use s64v_core::{PerformanceModel, SystemConfig};
+/// use s64v_workloads::{Suite, SuiteKind};
+///
+/// let suite = Suite::preset(SuiteKind::SpecInt95);
+/// let trace = suite.programs()[0].generate(20_000, 1);
+/// let result = PerformanceModel::new(SystemConfig::sparc64_v()).run_trace(&trace);
+/// assert_eq!(result.committed, 20_000);
+/// assert!(result.ipc() > 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerformanceModel {
+    config: SystemConfig,
+}
+
+impl PerformanceModel {
+    /// Wraps a configuration.
+    pub fn new(config: SystemConfig) -> Self {
+        PerformanceModel { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Runs a single trace on a uniprocessor instance of the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has more than one CPU (use
+    /// [`PerformanceModel::run_traces`]).
+    pub fn run_trace(&self, trace: &VecTrace) -> RunResult {
+        assert_eq!(self.config.cpus, 1, "run_trace is for uniprocessor configs");
+        self.run_traces(std::slice::from_ref(trace))
+    }
+
+    /// Runs one trace per CPU, lock-stepped cycle by cycle over the shared
+    /// memory system. The run ends when every CPU has drained; CPUs that
+    /// finish early sit idle (their commit counts still contribute).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly `cpus` traces are supplied.
+    pub fn run_traces(&self, traces: &[VecTrace]) -> RunResult {
+        assert_eq!(
+            traces.len(),
+            self.config.cpus,
+            "need one trace per CPU ({} != {})",
+            traces.len(),
+            self.config.cpus
+        );
+        let mut mem = MemorySystem::new(self.config.mem.clone(), self.config.cpus);
+        let mut cores: Vec<Core> = (0..self.config.cpus)
+            .map(|i| Core::new(self.config.core.clone(), i))
+            .collect();
+        let mut streams: Vec<SliceStream<'_>> = traces.iter().map(|t| t.stream()).collect();
+        let mut done: Vec<bool> = vec![false; cores.len()];
+
+        let mut now = 0u64;
+        while done.iter().any(|d| !d) {
+            for (i, core) in cores.iter_mut().enumerate() {
+                if done[i] {
+                    continue;
+                }
+                if core.is_done(&streams[i]) {
+                    done[i] = true;
+                    continue;
+                }
+                core.step(&mut mem, &mut streams[i], now);
+            }
+            now += 1;
+        }
+
+        let committed = cores.iter().map(|c| c.stats().committed.get()).sum();
+        RunResult {
+            cycles: now.saturating_sub(1),
+            committed,
+            core_stats: cores.iter().map(|c| c.stats().clone()).collect(),
+            mem_stats: (0..self.config.cpus)
+                .map(|i| mem.stats(i).clone())
+                .collect(),
+            bus_transactions: mem.bus().transactions(),
+            bus_busy_cycles: mem.bus().busy_cycles(),
+        }
+    }
+
+    /// Runs a single trace on a uniprocessor system, using the first
+    /// `warmup` records for functional cache/predictor warming and timing
+    /// only the remainder (the paper traces workloads at steady state,
+    /// §2.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warmup >= trace.len()` or the config is not UP.
+    pub fn run_trace_warm(&self, trace: &VecTrace, warmup: usize) -> RunResult {
+        assert_eq!(
+            self.config.cpus, 1,
+            "run_trace_warm is for uniprocessor configs"
+        );
+        self.run_traces_warm(std::slice::from_ref(trace), warmup)
+    }
+
+    /// SMP variant of [`PerformanceModel::run_trace_warm`]: warms each CPU
+    /// on its first `warmup` records (interleaved across CPUs so shared
+    /// lines end in a realistic mixed state), then times the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless every trace is longer than `warmup`.
+    pub fn run_traces_warm(&self, traces: &[VecTrace], warmup: usize) -> RunResult {
+        assert_eq!(traces.len(), self.config.cpus, "need one trace per CPU");
+        assert!(
+            traces.iter().all(|t| t.len() > warmup),
+            "warmup must leave records to time"
+        );
+        let mut mem = MemorySystem::new(self.config.mem.clone(), self.config.cpus);
+        let mut cores: Vec<Core> = (0..self.config.cpus)
+            .map(|i| Core::new(self.config.core.clone(), i))
+            .collect();
+
+        // Interleave the warm-up in chunks so SMP shared state mixes.
+        let chunk = 1024;
+        let mut pos = 0;
+        while pos < warmup {
+            let end = (pos + chunk).min(warmup);
+            for (i, core) in cores.iter_mut().enumerate() {
+                for rec in &traces[i].records()[pos..end] {
+                    core.warm(&mut mem, rec);
+                }
+            }
+            pos = end;
+        }
+
+        let mut streams: Vec<SliceStream<'_>> = traces
+            .iter()
+            .map(|t| SliceStream::new(&t.records()[warmup..]))
+            .collect();
+        let mut done: Vec<bool> = vec![false; cores.len()];
+        let mut now = 0u64;
+        while done.iter().any(|d| !d) {
+            for (i, core) in cores.iter_mut().enumerate() {
+                if done[i] {
+                    continue;
+                }
+                if core.is_done(&streams[i]) {
+                    done[i] = true;
+                    continue;
+                }
+                core.step(&mut mem, &mut streams[i], now);
+            }
+            now += 1;
+        }
+
+        let committed = cores.iter().map(|c| c.stats().committed.get()).sum();
+        RunResult {
+            cycles: now.saturating_sub(1),
+            committed,
+            core_stats: cores.iter().map(|c| c.stats().clone()).collect(),
+            mem_stats: (0..self.config.cpus)
+                .map(|i| mem.stats(i).clone())
+                .collect(),
+            bus_transactions: mem.bus().transactions(),
+            bus_busy_cycles: mem.bus().busy_cycles(),
+        }
+    }
+
+    /// Sampled simulation (§2.2: the paper samples its TPC-C captures):
+    /// runs several timed windows from one long trace, functionally
+    /// warming through everything in between, and merges the results.
+    ///
+    /// `windows` are `(start, len)` record ranges in ascending,
+    /// non-overlapping order; everything outside them is warm-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an SMP config, empty/overlapping/out-of-range windows.
+    pub fn run_trace_sampled(&self, trace: &VecTrace, windows: &[(usize, usize)]) -> RunResult {
+        assert_eq!(self.config.cpus, 1, "sampled runs are uniprocessor");
+        assert!(!windows.is_empty(), "need at least one window");
+        let mut mem = MemorySystem::new(self.config.mem.clone(), 1);
+        let mut core = Core::new(self.config.core.clone(), 0);
+
+        let mut pos = 0usize;
+        let mut cursor = 0u64;
+        let records = trace.records();
+        for &(start, len) in windows {
+            assert!(start >= pos, "windows must be ascending and disjoint");
+            assert!(start + len <= records.len(), "window exceeds the trace");
+            assert!(len > 0, "empty window");
+            // Functionally warm through the gap (predictor and caches keep
+            // evolving, no cycles are charged).
+            for rec in &records[pos..start] {
+                core.warm(&mut mem, rec);
+            }
+            // Time the window; the cycle cursor keeps the shared memory
+            // system's resource reservations monotonic across windows.
+            let mut stream = SliceStream::new(&records[start..start + len]);
+            cursor = core.run_from(&mut mem, &mut stream, cursor);
+            pos = start + len;
+        }
+
+        RunResult {
+            cycles: core.stats().cycles.get(),
+            committed: core.stats().committed.get(),
+            core_stats: vec![core.stats().clone()],
+            mem_stats: vec![mem.stats(0).clone()],
+            bus_transactions: mem.bus().transactions(),
+            bus_busy_cycles: mem.bus().busy_cycles(),
+        }
+    }
+
+    /// Runs an arbitrary stream on a uniprocessor instance (for generated
+    /// streams that are never materialized).
+    pub fn run_stream<S: TraceStream>(&self, mut stream: S) -> RunResult {
+        assert_eq!(
+            self.config.cpus, 1,
+            "run_stream is for uniprocessor configs"
+        );
+        let mut mem = MemorySystem::new(self.config.mem.clone(), 1);
+        let mut core = Core::new(self.config.core.clone(), 0);
+        let cycles = core.run(&mut mem, &mut stream);
+        RunResult {
+            cycles,
+            committed: core.stats().committed.get(),
+            core_stats: vec![core.stats().clone()],
+            mem_stats: vec![mem.stats(0).clone()],
+            bus_transactions: mem.bus().transactions(),
+            bus_busy_cycles: mem.bus().busy_cycles(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s64v_workloads::{smp_traces, suite::tpcc_program, Suite, SuiteKind};
+
+    #[test]
+    fn uniprocessor_run_commits_everything() {
+        let suite = Suite::preset(SuiteKind::SpecInt95);
+        let t = suite.programs()[0].generate(10_000, 5);
+        let r = PerformanceModel::new(SystemConfig::sparc64_v()).run_trace(&t);
+        assert_eq!(r.committed, 10_000);
+        assert!(r.cycles > 0);
+        assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn smp_run_commits_all_streams() {
+        let traces = smp_traces(&tpcc_program(), 2, 30_000, 3);
+        let r = PerformanceModel::new(SystemConfig::smp(2)).run_traces(&traces);
+        assert_eq!(r.committed, 60_000);
+        assert_eq!(r.core_stats.len(), 2);
+        let invalidations: u64 = r
+            .mem_stats
+            .iter()
+            .map(|m| m.coherence.invalidations_caused.get())
+            .sum();
+        assert!(
+            r.move_outs() > 0 || invalidations > 0,
+            "shared TPC-C data must cause coherence traffic"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let suite = Suite::preset(SuiteKind::SpecFp95);
+        let t = suite.programs()[0].generate(5_000, 5);
+        let model = PerformanceModel::new(SystemConfig::sparc64_v());
+        let a = model.run_trace(&t);
+        let b = model.run_trace(&t);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.committed, b.committed);
+    }
+
+    #[test]
+    #[should_panic(expected = "one trace per CPU")]
+    fn trace_count_is_validated() {
+        let traces = smp_traces(&tpcc_program(), 2, 100, 3);
+        let _ = PerformanceModel::new(SystemConfig::smp(4)).run_traces(&traces);
+    }
+}
+
+#[cfg(test)]
+mod sampled_tests {
+    use super::*;
+    use s64v_workloads::{Suite, SuiteKind};
+
+    #[test]
+    fn sampled_windows_commit_their_records() {
+        let suite = Suite::preset(SuiteKind::SpecInt95);
+        let t = suite.programs()[0].generate(60_000, 5);
+        let model = PerformanceModel::new(SystemConfig::sparc64_v());
+        let r = model.run_trace_sampled(&t, &[(20_000, 5_000), (40_000, 5_000)]);
+        assert_eq!(r.committed, 10_000);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn sampling_approximates_the_contiguous_run() {
+        let suite = Suite::preset(SuiteKind::SpecInt95);
+        let t = suite.programs()[1].generate(80_000, 5);
+        let model = PerformanceModel::new(SystemConfig::sparc64_v());
+        // Three spread windows vs timing the same records contiguously
+        // after an equivalent warm-up.
+        let sampled =
+            model.run_trace_sampled(&t, &[(30_000, 8_000), (50_000, 8_000), (70_000, 8_000)]);
+        let contiguous = model.run_trace_warm(&t, 56_000); // times the last 24k
+        let a = sampled.ipc();
+        let b = contiguous.ipc();
+        assert!(
+            (a - b).abs() / b < 0.25,
+            "sampled IPC {a:.3} should approximate contiguous {b:.3}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending and disjoint")]
+    fn overlapping_windows_are_rejected() {
+        let suite = Suite::preset(SuiteKind::SpecInt95);
+        let t = suite.programs()[0].generate(20_000, 5);
+        let model = PerformanceModel::new(SystemConfig::sparc64_v());
+        let _ = model.run_trace_sampled(&t, &[(5_000, 5_000), (8_000, 2_000)]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Seed-stability analysis.
+//!
+//! The paper's conclusions rest on sampled traces (§2.2); a reproduction
+//! built on *synthetic* traces must additionally show that its conclusions
+//! do not hinge on one lucky seed. [`seed_study`] re-runs a configuration
+//! over several generator seeds and reports the spread; the `stability`
+//! harness binary applies it to the headline comparisons.
+
+use crate::experiment::parallel_map;
+use crate::model::PerformanceModel;
+use crate::system::SystemConfig;
+use s64v_workloads::Program;
+
+/// Mean/min/max/σ of a metric across seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeedStudy {
+    /// Seeds evaluated.
+    pub seeds: usize,
+    /// Mean of the metric.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single seed).
+    pub stddev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl SeedStudy {
+    /// Builds the summary from raw observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "need at least one observation");
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = if values.len() > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        SeedStudy {
+            seeds: values.len(),
+            mean,
+            stddev: var.sqrt(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Coefficient of variation (σ/μ); 0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+}
+
+/// Runs `program` on `config` across `seeds` and summarizes IPC.
+pub fn seed_study(
+    config: &SystemConfig,
+    program: &Program,
+    records: usize,
+    warmup: usize,
+    seeds: &[u64],
+) -> SeedStudy {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let model = PerformanceModel::new(config.clone());
+    let ipcs = parallel_map(seeds, |&seed| {
+        let trace = program.generate(records + warmup, seed);
+        if warmup == 0 {
+            model.run_trace(&trace).ipc()
+        } else {
+            model.run_trace_warm(&trace, warmup).ipc()
+        }
+    });
+    SeedStudy::from_values(&ipcs)
+}
+
+/// Runs a *comparison* (alt vs base IPC ratio) across seeds — the right
+/// unit of stability for the paper's figures, which are all ratios.
+pub fn seed_study_ratio(
+    base: &SystemConfig,
+    alt: &SystemConfig,
+    program: &Program,
+    records: usize,
+    warmup: usize,
+    seeds: &[u64],
+) -> SeedStudy {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let base_model = PerformanceModel::new(base.clone());
+    let alt_model = PerformanceModel::new(alt.clone());
+    let ratios = parallel_map(seeds, |&seed| {
+        let trace = program.generate(records + warmup, seed);
+        let b = base_model.run_trace_warm(&trace, warmup).ipc();
+        let a = alt_model.run_trace_warm(&trace, warmup).ipc();
+        if b == 0.0 {
+            0.0
+        } else {
+            a / b
+        }
+    });
+    SeedStudy::from_values(&ratios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s64v_workloads::{Suite, SuiteKind};
+
+    #[test]
+    fn summary_statistics_are_correct() {
+        let s = SeedStudy::from_values(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.seeds, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.stddev - 1.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.cv() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_observation_has_zero_spread() {
+        let s = SeedStudy::from_values(&[4.2]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.min, s.max);
+    }
+
+    #[test]
+    fn ipc_is_stable_across_seeds() {
+        let suite = Suite::preset(SuiteKind::SpecInt95);
+        let program = &suite.programs()[0];
+        let s = seed_study(
+            &SystemConfig::sparc64_v(),
+            program,
+            10_000,
+            30_000,
+            &[1, 2, 3, 4],
+        );
+        assert_eq!(s.seeds, 4);
+        assert!(s.mean > 0.0);
+        assert!(
+            s.cv() < 0.15,
+            "per-seed IPC spread should be modest (cv = {:.3})",
+            s.cv()
+        );
+    }
+
+    #[test]
+    fn prefetch_conclusion_holds_across_seeds() {
+        let suite = Suite::preset(SuiteKind::SpecFp95);
+        let program = &suite.programs()[1];
+        let base = SystemConfig::sparc64_v();
+        let without = base.clone().with_mem(base.mem.clone().without_prefetch());
+        let s = seed_study_ratio(&without, &base, program, 10_000, 40_000, &[5, 6, 7]);
+        assert!(
+            s.min > 1.0,
+            "prefetch must win on every seed (min ratio {:.3})",
+            s.min
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Structured design-space sweeps.
+//!
+//! §4's studies are all of one shape: a set of named design points run
+//! over the same workloads and compared on IPC or an event ratio.
+//! [`Sweep`] packages that shape — points run in parallel, results come
+//! back aligned and table-ready — so new studies (and downstream users'
+//! own trade-off explorations) don't re-write the harness plumbing.
+
+use crate::experiment::{parallel_map, run_suite_warm, SuiteResult};
+use crate::model::PerformanceModel;
+use crate::system::{RunResult, SystemConfig};
+use s64v_stats::Table;
+use s64v_trace::VecTrace;
+use s64v_workloads::SuiteKind;
+
+/// One named configuration in a sweep.
+#[derive(Debug, Clone)]
+pub struct DesignPoint {
+    /// Display name (e.g. `"on.2m-4w"`).
+    pub name: String,
+    /// The configuration.
+    pub config: SystemConfig,
+}
+
+/// A set of design points compared on identical workloads.
+///
+/// # Examples
+///
+/// ```
+/// use s64v_core::sweep::Sweep;
+/// use s64v_core::SystemConfig;
+/// use s64v_workloads::{Suite, SuiteKind};
+///
+/// let base = SystemConfig::sparc64_v();
+/// let no_pf = base.clone().with_mem(base.mem.clone().without_prefetch());
+/// let sweep = Sweep::new().point("with-prefetch", base).point("without", no_pf);
+///
+/// let trace = Suite::preset(SuiteKind::SpecFp95).programs()[0].generate(30_000, 1);
+/// let rows = sweep.run_trace(&trace, 20_000);
+/// assert_eq!(rows.len(), 2);
+/// assert_eq!(rows[0].0, "with-prefetch");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Sweep {
+    points: Vec<DesignPoint>,
+}
+
+impl Sweep {
+    /// Creates an empty sweep.
+    pub fn new() -> Self {
+        Sweep { points: Vec::new() }
+    }
+
+    /// Adds a design point.
+    pub fn point(mut self, name: &str, config: SystemConfig) -> Self {
+        self.points.push(DesignPoint {
+            name: name.to_string(),
+            config,
+        });
+        self
+    }
+
+    /// The design points.
+    pub fn points(&self) -> &[DesignPoint] {
+        &self.points
+    }
+
+    /// Runs one trace on every point (in parallel), preserving order.
+    pub fn run_trace(&self, trace: &VecTrace, warmup: usize) -> Vec<(String, RunResult)> {
+        parallel_map(&self.points, |p| {
+            let model = PerformanceModel::new(p.config.clone());
+            let result = if warmup == 0 {
+                model.run_trace(trace)
+            } else {
+                model.run_trace_warm(trace, warmup)
+            };
+            (p.name.clone(), result)
+        })
+    }
+
+    /// Runs a whole suite on every point.
+    pub fn run_suite(
+        &self,
+        kind: SuiteKind,
+        records: usize,
+        warmup: usize,
+        seed: u64,
+    ) -> Vec<(String, SuiteResult)> {
+        self.points
+            .iter()
+            .map(|p| {
+                (
+                    p.name.clone(),
+                    run_suite_warm(&p.config, kind, records, warmup, seed),
+                )
+            })
+            .collect()
+    }
+
+    /// Renders per-point values of `metric` over a set of aligned suite
+    /// results (one row per workload label).
+    pub fn metric_table(
+        &self,
+        metric_name: &str,
+        runs: &[Vec<(String, SuiteResult)>],
+        metric: impl Fn(&SuiteResult) -> f64,
+    ) -> Table {
+        let mut headers = vec!["workload".to_string()];
+        headers.extend(
+            self.points
+                .iter()
+                .map(|p| format!("{} {metric_name}", p.name)),
+        );
+        let mut t = Table::new(headers);
+        for run in runs {
+            assert_eq!(run.len(), self.points.len(), "one column per design point");
+            let mut row = vec![run[0].1.label.clone()];
+            row.extend(run.iter().map(|(_, s)| format!("{:.4}", metric(s))));
+            t.row(row);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s64v_workloads::Suite;
+
+    fn small_sweep() -> Sweep {
+        let base = SystemConfig::sparc64_v();
+        let ideal = base.clone().with_mem(base.mem.clone().with_perfect_l2());
+        Sweep::new().point("base", base).point("perfect-l2", ideal)
+    }
+
+    #[test]
+    fn run_trace_preserves_point_order() {
+        let trace = Suite::preset(SuiteKind::SpecInt95).programs()[0].generate(8_000, 3);
+        let rows = small_sweep().run_trace(&trace, 4_000);
+        assert_eq!(rows[0].0, "base");
+        assert_eq!(rows[1].0, "perfect-l2");
+        assert!(
+            rows[1].1.cycles <= rows[0].1.cycles,
+            "idealization can only help"
+        );
+    }
+
+    #[test]
+    fn metric_table_is_aligned() {
+        let sweep = small_sweep();
+        let run = sweep.run_suite(SuiteKind::SpecFp95, 2_000, 1_000, 3);
+        let t = sweep.metric_table("ipc", &[run], |s| s.ipc());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.headers().len(), 3);
+        assert!(t.to_string().contains("SPECfp95"));
+    }
+}

@@ -1,0 +1,196 @@
+//! System configuration and run results.
+
+use s64v_cpu::{CoreConfig, CoreStats};
+use s64v_mem::{MemConfig, MemStats};
+use s64v_stats::Ratio;
+use serde::{Deserialize, Serialize};
+
+/// The full system: core configuration, memory configuration and CPU
+/// count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Per-core pipeline configuration.
+    pub core: CoreConfig,
+    /// Memory-system configuration (shared bus/memory in SMP).
+    pub mem: MemConfig,
+    /// Number of CPUs.
+    pub cpus: usize,
+}
+
+impl SystemConfig {
+    /// The production uniprocessor SPARC64 V system (Table 1).
+    pub fn sparc64_v() -> Self {
+        SystemConfig {
+            core: CoreConfig::sparc64_v(),
+            mem: MemConfig::sparc64_v(),
+            cpus: 1,
+        }
+    }
+
+    /// An `n`-CPU SMP system of the production design.
+    pub fn smp(n: usize) -> Self {
+        SystemConfig {
+            cpus: n,
+            ..Self::sparc64_v()
+        }
+    }
+
+    /// Replaces the core configuration.
+    pub fn with_core(mut self, core: CoreConfig) -> Self {
+        self.core = core;
+        self
+    }
+
+    /// Replaces the memory configuration.
+    pub fn with_mem(mut self, mem: MemConfig) -> Self {
+        self.mem = mem;
+        self
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::sparc64_v()
+    }
+}
+
+/// Everything measured by one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Cycles until the last CPU drained.
+    pub cycles: u64,
+    /// Instructions committed across all CPUs.
+    pub committed: u64,
+    /// Per-CPU pipeline statistics.
+    pub core_stats: Vec<CoreStats>,
+    /// Per-CPU memory statistics.
+    pub mem_stats: Vec<MemStats>,
+    /// System bus transactions.
+    pub bus_transactions: u64,
+    /// Cycles the system bus was occupied.
+    pub bus_busy_cycles: u64,
+}
+
+impl RunResult {
+    /// Aggregate instructions per cycle (all CPUs' commits over the run's
+    /// cycle count — for SMP this is the system throughput).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.committed as f64
+        }
+    }
+
+    fn merge<F: Fn(&MemStats) -> Ratio>(&self, f: F) -> Ratio {
+        self.mem_stats
+            .iter()
+            .map(f)
+            .fold(Ratio::default(), |acc, r| acc.merge(r))
+    }
+
+    /// Merged L1 instruction cache miss ratio.
+    pub fn l1i_miss_ratio(&self) -> Ratio {
+        self.merge(|m| m.l1i.miss_ratio())
+    }
+
+    /// Merged L1 operand cache miss ratio (all requests).
+    pub fn l1d_miss_ratio(&self) -> Ratio {
+        self.merge(|m| m.l1d.miss_ratio())
+    }
+
+    /// Merged L2 miss ratio over *all* requests including prefetches
+    /// (Figure 17's "with" bar).
+    pub fn l2_all_miss_ratio(&self) -> Ratio {
+        self.merge(|m| m.l2_all.miss_ratio())
+    }
+
+    /// Merged L2 miss ratio over demand requests only (Figure 17's
+    /// "with-Demand", and the plain L2 miss ratio when prefetch is off).
+    pub fn l2_demand_miss_ratio(&self) -> Ratio {
+        self.merge(|m| m.l2_demand.miss_ratio())
+    }
+
+    /// Merged conditional-branch misprediction ratio.
+    pub fn mispredict_ratio(&self) -> Ratio {
+        self.core_stats
+            .iter()
+            .map(|c| c.mispredict_ratio())
+            .fold(Ratio::default(), |acc, r| acc.merge(r))
+    }
+
+    /// Total prefetch requests issued.
+    pub fn prefetches_issued(&self) -> u64 {
+        self.mem_stats.iter().map(|m| m.prefetch_issued.get()).sum()
+    }
+
+    /// Total cache-to-cache move-out transfers received.
+    pub fn move_outs(&self) -> u64 {
+        self.mem_stats
+            .iter()
+            .map(|m| m.coherence.move_outs_in.get())
+            .sum()
+    }
+
+    /// Mean load-to-data latency across CPUs (cycles), weighted by loads.
+    pub fn mean_load_latency(&self) -> f64 {
+        let (sum, n) = self
+            .mem_stats
+            .iter()
+            .filter_map(|m| m.load_latency.as_ref())
+            .fold((0.0, 0u64), |(s, n), h| {
+                (s + h.mean() * h.total() as f64, n + h.total())
+            });
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Bus utilization over the run.
+    pub fn bus_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.bus_busy_cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn production_system_is_uniprocessor() {
+        let s = SystemConfig::sparc64_v();
+        assert_eq!(s.cpus, 1);
+        assert_eq!(SystemConfig::smp(16).cpus, 16);
+    }
+
+    #[test]
+    fn empty_result_is_safe() {
+        let r = RunResult {
+            cycles: 0,
+            committed: 0,
+            core_stats: vec![],
+            mem_stats: vec![],
+            bus_transactions: 0,
+            bus_busy_cycles: 0,
+        };
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.cpi(), 0.0);
+        assert_eq!(r.l2_all_miss_ratio().value(), 0.0);
+        assert_eq!(r.bus_utilization(), 0.0);
+    }
+}

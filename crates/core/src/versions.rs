@@ -1,0 +1,187 @@
+//! The model-version ladder (Figure 19, upper graph).
+//!
+//! "From the beginning until the end of development, we improved each
+//! version of a single performance model step by step" (§2.1); the upper
+//! Figure 19 graph shows the SPEC CPU2000 performance estimate of each
+//! version relative to v8. Estimates decrease as rigidity improves —
+//! except at v5, where special instructions switch from a crude
+//! experimental per-instruction penalty to detailed modeling and the
+//! estimate moves *up* (§5).
+//!
+//! The ladder below reconstructs that history: v1 idealizes queues,
+//! banking, the TLB and the bus; each later version adds one cluster of
+//! real constraints until v8 is the full-detail model.
+
+use crate::system::SystemConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The crude special-instruction penalty used before v5 (cycles).
+pub const EXPERIMENTAL_SPECIAL_PENALTY: u32 = 40;
+
+/// A development version of the performance model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ModelVersion {
+    /// Initial model: idealized memory queuing, no bank conflicts, huge
+    /// window-side resources, perfect TLB, crude special-op penalty.
+    V1,
+    /// + real bus occupancies and memory latency.
+    V2,
+    /// + outstanding-transaction limit and real TLBs.
+    V3,
+    /// + L1 operand cache banking and real MSHR counts.
+    V4,
+    /// + detailed special-instruction modeling (the upward blip).
+    V5,
+    /// + real load/store queue sizes.
+    V6,
+    /// + real reservation stations and renaming registers.
+    V7,
+    /// The full-detail shipped model.
+    V8,
+}
+
+impl ModelVersion {
+    /// All versions in development order.
+    pub const ALL: [ModelVersion; 8] = [
+        ModelVersion::V1,
+        ModelVersion::V2,
+        ModelVersion::V3,
+        ModelVersion::V4,
+        ModelVersion::V5,
+        ModelVersion::V6,
+        ModelVersion::V7,
+        ModelVersion::V8,
+    ];
+
+    /// Derives this version's configuration from the final (`v8`) system.
+    ///
+    /// Later versions reuse the previous version's idealizations minus the
+    /// cluster they make real, so the ladder is cumulative by
+    /// construction.
+    pub fn configure(self, final_config: &SystemConfig) -> SystemConfig {
+        let mut cfg = final_config.clone();
+        let v = self as usize; // 0-based: V1 = 0 … V8 = 7
+
+        // Each transition makes one cluster of constraints real; a version
+        // therefore carries every idealization of the clusters still ahead
+        // of it.
+        if v < 7 {
+            // v7→v8: real reservation stations and renaming registers.
+            cfg.core.int_rename_regs = 64;
+            cfg.core.fp_rename_regs = 64;
+            cfg.core.rse_entries = 32;
+            cfg.core.rsf_entries = 32;
+            cfg.core.rsa_entries = 40;
+            cfg.core.rsbr_entries = 40;
+        }
+        if v < 6 {
+            // v6→v7: real load/store queues.
+            cfg.core.load_queue = 64;
+            cfg.core.store_queue = 64;
+        }
+        if v < 5 {
+            // v5→v6: real L1 operand banking and miss-buffer counts.
+            cfg.mem.l1d_banks = 1024;
+            cfg.mem.l1_mshrs = 64;
+            cfg.mem.l2_mshrs = 64;
+        }
+        if v < 4 {
+            // v4→v5: detailed special-instruction modeling replaces the
+            // crude experimental penalty (the upward blip in Fig 19).
+            cfg.core.latencies = cfg
+                .core
+                .latencies
+                .clone()
+                .with_special(EXPERIMENTAL_SPECIAL_PENALTY);
+        }
+        if v < 3 {
+            // v3→v4: real TLBs.
+            cfg.mem.perfect_tlb = true;
+        }
+        if v < 2 {
+            // v2→v3: real outstanding-transaction limit.
+            cfg.mem.bus_outstanding = 4096;
+        }
+        if v < 1 {
+            // v1→v2: real bus occupancies and memory latency.
+            cfg.mem.bus_line_cycles = 1;
+            cfg.mem.bus_cmd_cycles = 1;
+            cfg.mem.dram_latency = cfg.mem.dram_latency * 7 / 10;
+        }
+        cfg
+    }
+
+    /// The version's display name ("v1"…"v8").
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelVersion::V1 => "v1",
+            ModelVersion::V2 => "v2",
+            ModelVersion::V3 => "v3",
+            ModelVersion::V4 => "v4",
+            ModelVersion::V5 => "v5",
+            ModelVersion::V6 => "v6",
+            ModelVersion::V7 => "v7",
+            ModelVersion::V8 => "v8",
+        }
+    }
+}
+
+impl fmt::Display for ModelVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v8_is_the_final_config() {
+        let final_config = SystemConfig::sparc64_v();
+        let v8 = ModelVersion::V8.configure(&final_config);
+        assert_eq!(v8, final_config);
+    }
+
+    #[test]
+    fn v1_is_the_most_idealized() {
+        let final_config = SystemConfig::sparc64_v();
+        let v1 = ModelVersion::V1.configure(&final_config);
+        assert!(v1.mem.perfect_tlb);
+        assert_eq!(v1.mem.bus_line_cycles, 1);
+        assert_eq!(v1.core.load_queue, 64);
+        assert_eq!(v1.core.rse_entries, 32);
+        assert!(v1.mem.dram_latency < final_config.mem.dram_latency);
+    }
+
+    #[test]
+    fn special_penalty_flips_at_v5() {
+        use s64v_isa::OpClass;
+        let final_config = SystemConfig::sparc64_v();
+        let v4 = ModelVersion::V4.configure(&final_config);
+        let v5 = ModelVersion::V5.configure(&final_config);
+        assert_eq!(
+            v4.core.latencies.get(OpClass::Special),
+            EXPERIMENTAL_SPECIAL_PENALTY
+        );
+        assert_eq!(
+            v5.core.latencies.get(OpClass::Special),
+            final_config.core.latencies.get(OpClass::Special)
+        );
+    }
+
+    #[test]
+    fn ladder_is_monotonically_less_idealized() {
+        let final_config = SystemConfig::sparc64_v();
+        let mut prev_lq = u32::MAX;
+        for v in ModelVersion::ALL {
+            let cfg = v.configure(&final_config);
+            assert!(
+                cfg.core.load_queue <= prev_lq,
+                "{v} must not loosen the load queue"
+            );
+            prev_lq = cfg.core.load_queue;
+        }
+    }
+}

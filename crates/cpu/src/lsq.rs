@@ -1,0 +1,238 @@
+//! Load and store queues (§3.2).
+//!
+//! Every memory access is queued at decode — 16 load-queue and 10
+//! store-queue entries (Table 1). A load holds its entry until its data
+//! returns; a store holds its entry until it drains to the L1 operand
+//! cache after commit. Loads that fully overlap an older, not-yet-drained
+//! store receive the data by store-to-load forwarding instead of accessing
+//! the cache.
+
+/// A store tracked by the store queue.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreEntry {
+    /// Sequence number of the store.
+    pub seq: u64,
+    /// Effective address once generated.
+    pub addr: Option<u64>,
+    /// Access width in bytes.
+    pub width: u64,
+    /// Cycle the store's data operand is available.
+    pub data_ready_at: Option<u64>,
+    /// The store has committed and is eligible to drain.
+    pub committed: bool,
+}
+
+/// The core's load and store queues.
+#[derive(Debug, Clone)]
+pub struct LoadStoreQueues {
+    lq_capacity: usize,
+    sq_capacity: usize,
+    loads: Vec<u64>,
+    stores: Vec<StoreEntry>,
+}
+
+impl LoadStoreQueues {
+    /// Creates empty queues.
+    pub fn new(load_entries: u32, store_entries: u32) -> Self {
+        LoadStoreQueues {
+            lq_capacity: load_entries as usize,
+            sq_capacity: store_entries as usize,
+            loads: Vec::new(),
+            stores: Vec::new(),
+        }
+    }
+
+    /// Whether a load can be decoded this cycle.
+    pub fn has_load_space(&self) -> bool {
+        self.loads.len() < self.lq_capacity
+    }
+
+    /// Whether a store can be decoded this cycle.
+    pub fn has_store_space(&self) -> bool {
+        self.stores.len() < self.sq_capacity
+    }
+
+    /// Allocates a load-queue entry at decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full.
+    pub fn alloc_load(&mut self, seq: u64) {
+        assert!(self.has_load_space(), "load queue full");
+        self.loads.push(seq);
+    }
+
+    /// Allocates a store-queue entry at decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full.
+    pub fn alloc_store(&mut self, seq: u64, width: u64) {
+        assert!(self.has_store_space(), "store queue full");
+        self.stores.push(StoreEntry {
+            seq,
+            addr: None,
+            width,
+            data_ready_at: None,
+            committed: false,
+        });
+    }
+
+    /// Records a store's generated address.
+    pub fn set_store_addr(&mut self, seq: u64, addr: u64) {
+        if let Some(e) = self.stores.iter_mut().find(|e| e.seq == seq) {
+            e.addr = Some(addr);
+        }
+    }
+
+    /// Records when a store's data operand becomes available.
+    pub fn set_store_data_ready(&mut self, seq: u64, cycle: u64) {
+        if let Some(e) = self.stores.iter_mut().find(|e| e.seq == seq) {
+            e.data_ready_at = Some(cycle);
+        }
+    }
+
+    /// Marks a store committed (eligible to drain to the cache).
+    pub fn mark_store_committed(&mut self, seq: u64) {
+        if let Some(e) = self.stores.iter_mut().find(|e| e.seq == seq) {
+            e.committed = true;
+        }
+    }
+
+    /// Store-to-load forwarding: if the load at `seq` reading
+    /// `[addr, addr+width)` is fully covered by the *youngest older* store
+    /// still in the queue with a known address, returns the cycle the data
+    /// can forward (the store's data readiness).
+    ///
+    /// Returns `None` when no store overlaps, or when the overlap is
+    /// partial or the covering store's data is not yet timed.
+    pub fn forward_for(&self, seq: u64, addr: u64, width: u64) -> Option<u64> {
+        self.stores
+            .iter()
+            .rev()
+            .filter(|s| s.seq < seq)
+            .find_map(|s| {
+                let s_addr = s.addr?;
+                let covers = s_addr <= addr && addr + width <= s_addr + s.width;
+                let overlaps = s_addr < addr + width && addr < s_addr + s.width;
+                if covers {
+                    s.data_ready_at.map(Some).unwrap_or(None)
+                } else if overlaps {
+                    // Partial overlap: conservative, no forwarding (the
+                    // load will access the cache after the store drains).
+                    None
+                } else {
+                    None
+                }
+            })
+    }
+
+    /// The oldest committed, address-known store that has not drained yet.
+    pub fn next_drain(&self) -> Option<StoreEntry> {
+        self.stores
+            .iter()
+            .filter(|s| s.committed && s.addr.is_some())
+            .min_by_key(|s| s.seq)
+            .copied()
+    }
+
+    /// Removes a drained store, freeing its queue entry.
+    pub fn release_store(&mut self, seq: u64) {
+        self.stores.retain(|s| s.seq != seq);
+    }
+
+    /// Removes a completed load, freeing its queue entry.
+    pub fn release_load(&mut self, seq: u64) {
+        self.loads.retain(|&l| l != seq);
+    }
+
+    /// Load-queue occupancy.
+    pub fn loads_in_flight(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Store-queue occupancy.
+    pub fn stores_in_flight(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Whether both queues are empty.
+    pub fn is_empty(&self) -> bool {
+        self.loads.is_empty() && self.stores.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_are_enforced() {
+        let mut q = LoadStoreQueues::new(2, 1);
+        q.alloc_load(0);
+        q.alloc_load(1);
+        assert!(!q.has_load_space());
+        q.alloc_store(2, 8);
+        assert!(!q.has_store_space());
+        q.release_load(0);
+        assert!(q.has_load_space());
+    }
+
+    #[test]
+    fn forwarding_from_covering_store() {
+        let mut q = LoadStoreQueues::new(4, 4);
+        q.alloc_store(1, 8);
+        q.set_store_addr(1, 0x100);
+        q.set_store_data_ready(1, 55);
+        // Fully covered 4-byte load inside the store's 8 bytes.
+        assert_eq!(q.forward_for(5, 0x104, 4), Some(55));
+        // Younger store cannot forward to an older load.
+        assert_eq!(q.forward_for(0, 0x104, 4), None);
+    }
+
+    #[test]
+    fn partial_overlap_does_not_forward() {
+        let mut q = LoadStoreQueues::new(4, 4);
+        q.alloc_store(1, 4);
+        q.set_store_addr(1, 0x100);
+        q.set_store_data_ready(1, 10);
+        assert_eq!(q.forward_for(5, 0x102, 4), None, "straddles the store end");
+    }
+
+    #[test]
+    fn youngest_older_store_wins() {
+        let mut q = LoadStoreQueues::new(4, 4);
+        q.alloc_store(1, 8);
+        q.set_store_addr(1, 0x100);
+        q.set_store_data_ready(1, 10);
+        q.alloc_store(3, 8);
+        q.set_store_addr(3, 0x100);
+        q.set_store_data_ready(3, 99);
+        assert_eq!(q.forward_for(5, 0x100, 8), Some(99));
+    }
+
+    #[test]
+    fn drain_order_is_by_age_after_commit() {
+        let mut q = LoadStoreQueues::new(4, 4);
+        q.alloc_store(1, 8);
+        q.alloc_store(2, 8);
+        q.set_store_addr(1, 0x10);
+        q.set_store_addr(2, 0x20);
+        assert!(q.next_drain().is_none(), "uncommitted stores do not drain");
+        q.mark_store_committed(2);
+        q.mark_store_committed(1);
+        assert_eq!(q.next_drain().unwrap().seq, 1);
+        q.release_store(1);
+        assert_eq!(q.next_drain().unwrap().seq, 2);
+        q.release_store(2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn forwarding_requires_known_data_time() {
+        let mut q = LoadStoreQueues::new(4, 4);
+        q.alloc_store(1, 8);
+        q.set_store_addr(1, 0x100);
+        assert_eq!(q.forward_for(5, 0x100, 8), None, "data time unknown yet");
+    }
+}

@@ -1,0 +1,196 @@
+//! Register renaming resources.
+//!
+//! The SPARC64 V keeps up to 32 integer and 32 floating-point results in
+//! renaming registers (Table 1, "Reorder buffer: Fixed-point 32 /
+//! Floating-point 32"). Decode stalls when the pool for the destination's
+//! class is exhausted; registers free at commit.
+//!
+//! The rename *map* tracks, per architectural register, the sequence
+//! number of its latest in-flight producer so decode can record true
+//! dependences.
+
+use s64v_isa::{Reg, RegClass};
+
+/// Free-counter pools for the renaming registers.
+#[derive(Debug, Clone)]
+pub struct RenamePool {
+    int_free: u32,
+    fp_free: u32,
+    int_total: u32,
+    fp_total: u32,
+}
+
+impl RenamePool {
+    /// Creates pools with the given sizes.
+    pub fn new(int_regs: u32, fp_regs: u32) -> Self {
+        RenamePool {
+            int_free: int_regs,
+            fp_free: fp_regs,
+            int_total: int_regs,
+            fp_total: fp_regs,
+        }
+    }
+
+    fn pool_of(&mut self, class: RegClass) -> Option<&mut u32> {
+        match class {
+            RegClass::Int => Some(&mut self.int_free),
+            RegClass::Fp => Some(&mut self.fp_free),
+            // Condition codes rename alongside the integer results without
+            // consuming a data register.
+            RegClass::Cc => None,
+        }
+    }
+
+    /// Whether a result of `class` can be renamed right now.
+    pub fn can_allocate(&mut self, class: RegClass) -> bool {
+        match self.pool_of(class) {
+            Some(free) => *free > 0,
+            None => true,
+        }
+    }
+
+    /// Allocates a renaming register. Returns `false` (and changes
+    /// nothing) if the pool is empty.
+    pub fn allocate(&mut self, class: RegClass) -> bool {
+        match self.pool_of(class) {
+            Some(free) => {
+                if *free == 0 {
+                    return false;
+                }
+                *free -= 1;
+                true
+            }
+            None => true,
+        }
+    }
+
+    /// Releases a renaming register at commit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a double release (more frees than allocations).
+    pub fn release(&mut self, class: RegClass) {
+        match class {
+            RegClass::Int => {
+                assert!(
+                    self.int_free < self.int_total,
+                    "double release of int rename reg"
+                );
+                self.int_free += 1;
+            }
+            RegClass::Fp => {
+                assert!(
+                    self.fp_free < self.fp_total,
+                    "double release of fp rename reg"
+                );
+                self.fp_free += 1;
+            }
+            RegClass::Cc => {}
+        }
+    }
+
+    /// Free integer renaming registers.
+    pub fn int_free(&self) -> u32 {
+        self.int_free
+    }
+
+    /// Free floating-point renaming registers.
+    pub fn fp_free(&self) -> u32 {
+        self.fp_free
+    }
+}
+
+/// The rename map: architectural register → sequence number of the latest
+/// in-flight producer.
+#[derive(Debug, Clone)]
+pub struct RenameMap {
+    producers: [Option<u64>; Reg::DENSE_COUNT],
+}
+
+impl RenameMap {
+    /// Creates an empty map (all registers architecturally ready).
+    pub fn new() -> Self {
+        RenameMap {
+            producers: [None; Reg::DENSE_COUNT],
+        }
+    }
+
+    /// The in-flight producer of `reg`, if any.
+    pub fn producer(&self, reg: Reg) -> Option<u64> {
+        self.producers[reg.dense_index()]
+    }
+
+    /// Records `seq` as the latest producer of `reg`.
+    pub fn define(&mut self, reg: Reg, seq: u64) {
+        self.producers[reg.dense_index()] = Some(seq);
+    }
+
+    /// Clears the mapping if `seq` is still the latest producer of `reg`
+    /// (called at commit; a younger redefinition must stay).
+    pub fn retire(&mut self, reg: Reg, seq: u64) {
+        let slot = &mut self.producers[reg.dense_index()];
+        if *slot == Some(seq) {
+            *slot = None;
+        }
+    }
+}
+
+impl Default for RenameMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_exhausts_and_replenishes() {
+        let mut p = RenamePool::new(2, 1);
+        assert!(p.allocate(RegClass::Int));
+        assert!(p.allocate(RegClass::Int));
+        assert!(!p.allocate(RegClass::Int));
+        p.release(RegClass::Int);
+        assert!(p.allocate(RegClass::Int));
+    }
+
+    #[test]
+    fn pools_are_independent() {
+        let mut p = RenamePool::new(1, 1);
+        assert!(p.allocate(RegClass::Fp));
+        assert!(!p.allocate(RegClass::Fp));
+        assert!(
+            p.allocate(RegClass::Int),
+            "fp exhaustion must not block int"
+        );
+    }
+
+    #[test]
+    fn cc_never_blocks() {
+        let mut p = RenamePool::new(0, 0);
+        assert!(p.can_allocate(RegClass::Cc));
+        assert!(p.allocate(RegClass::Cc));
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_is_a_bug() {
+        let mut p = RenamePool::new(1, 1);
+        p.release(RegClass::Int);
+    }
+
+    #[test]
+    fn map_tracks_latest_producer() {
+        let mut m = RenameMap::new();
+        let r = Reg::int(5);
+        assert_eq!(m.producer(r), None);
+        m.define(r, 10);
+        m.define(r, 12);
+        assert_eq!(m.producer(r), Some(12));
+        m.retire(r, 10); // stale retire: ignored
+        assert_eq!(m.producer(r), Some(12));
+        m.retire(r, 12);
+        assert_eq!(m.producer(r), None);
+    }
+}

@@ -1,0 +1,308 @@
+//! The instruction window (reorder buffer).
+//!
+//! Up to 64 instructions can be in flight (Table 1). Entries are allocated
+//! in program order at decode, updated by the out-of-order engine, and
+//! retired in order at commit. Slots are addressed by global sequence
+//! number (`seq % capacity`), which is unambiguous because at most
+//! `capacity` consecutive sequence numbers are ever live.
+
+use s64v_trace::TraceRecord;
+
+/// Everything the pipeline knows about one in-flight instruction.
+#[derive(Debug, Clone)]
+pub struct InstrState {
+    /// Global program-order sequence number.
+    pub seq: u64,
+    /// The trace record.
+    pub rec: TraceRecord,
+    /// Sequence numbers of in-flight producers whose results the
+    /// instruction needs before (or at) dispatch.
+    pub producers: Vec<u64>,
+    /// For stores: producers of the *data* operand, needed before the
+    /// store can retire but not for address generation.
+    pub data_producers: Vec<u64>,
+    /// Which RSE/RSF buffer the entry was steered to (split scheme).
+    pub rs_buffer: u8,
+    /// Whether the instruction has been dispatched from its RS.
+    pub dispatched: bool,
+    /// Cycle it was dispatched.
+    pub dispatched_at: u64,
+    /// Advertised result availability: the first cycle a consumer's
+    /// execute stage can use the value (forwarding included).
+    pub result_at: Option<u64>,
+    /// The advertised `result_at` is a cache-hit prediction that may yet
+    /// be cancelled (speculative dispatch, §3.1).
+    pub result_speculative: bool,
+    /// Execution (and for loads, data return) has finished.
+    pub completed: bool,
+    /// Cycle at which AGU finished computing the effective address.
+    pub addr_ready_at: Option<u64>,
+    /// The memory request has been issued to the L1 operand cache.
+    pub mem_issued: bool,
+    /// Actual cycle the load's data is available (set at issue; for
+    /// speculatively dispatched consumers the advertised `result_at` may
+    /// be earlier until the hit prediction is confirmed).
+    pub mem_ready_at: Option<u64>,
+    /// Whether the issued memory access was served by the on-chip caches
+    /// (`Some(false)` = it went to the bus/memory); used for stall blame.
+    pub mem_l2_hit: Option<bool>,
+    /// Times this instruction was cancelled and replayed.
+    pub replays: u32,
+    /// Predicted direction (conditional branches).
+    pub predicted_taken: bool,
+    /// The prediction was wrong; fetch is stalled until resolution.
+    pub mispredicted: bool,
+    /// The branch has resolved.
+    pub resolved: bool,
+}
+
+impl InstrState {
+    /// Creates a fresh entry for a decoded record.
+    pub fn new(seq: u64, rec: TraceRecord) -> Self {
+        InstrState {
+            seq,
+            rec,
+            producers: Vec::new(),
+            data_producers: Vec::new(),
+            rs_buffer: 0,
+            dispatched: false,
+            dispatched_at: 0,
+            result_at: None,
+            result_speculative: false,
+            completed: false,
+            addr_ready_at: None,
+            mem_issued: false,
+            mem_ready_at: None,
+            mem_l2_hit: None,
+            replays: 0,
+            predicted_taken: false,
+            mispredicted: false,
+            resolved: false,
+        }
+    }
+
+    /// Returns the instruction to its reservation station after a
+    /// speculation cancel (§3.1's cancel-and-replay).
+    pub fn cancel(&mut self) {
+        debug_assert!(self.dispatched && !self.completed);
+        debug_assert!(
+            !self.mem_issued,
+            "a load cannot be cancelled after its cache access issued"
+        );
+        self.dispatched = false;
+        self.result_at = None;
+        self.result_speculative = false;
+        self.addr_ready_at = None;
+        self.mem_ready_at = None;
+        self.mem_l2_hit = None;
+        self.replays += 1;
+    }
+}
+
+/// The reorder buffer: a ring of [`InstrState`] addressed by sequence
+/// number.
+///
+/// # Examples
+///
+/// ```
+/// use s64v_cpu::rob::{InstrState, Rob};
+/// use s64v_isa::Instr;
+/// use s64v_trace::TraceRecord;
+///
+/// let mut rob = Rob::new(4);
+/// rob.push(InstrState::new(0, TraceRecord::new(0, Instr::nop())));
+/// assert_eq!(rob.len(), 1);
+/// assert!(rob.get(0).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rob {
+    slots: Vec<Option<InstrState>>,
+    head_seq: u64,
+    tail_seq: u64,
+}
+
+impl Rob {
+    /// Creates an empty window with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0, "window needs at least one entry");
+        Rob {
+            slots: vec![None; capacity as usize],
+            head_seq: 0,
+            tail_seq: 0,
+        }
+    }
+
+    /// Window capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of in-flight instructions.
+    pub fn len(&self) -> usize {
+        (self.tail_seq - self.head_seq) as usize
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.head_seq == self.tail_seq
+    }
+
+    /// Whether the window is full.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.slots.len()
+    }
+
+    fn slot_of(&self, seq: u64) -> usize {
+        (seq % self.slots.len() as u64) as usize
+    }
+
+    /// Allocates the next entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is full or `state.seq` is out of order.
+    pub fn push(&mut self, state: InstrState) {
+        assert!(!self.is_full(), "window full");
+        assert_eq!(state.seq, self.tail_seq, "out-of-order allocation");
+        let slot = self.slot_of(state.seq);
+        debug_assert!(self.slots[slot].is_none());
+        self.slots[slot] = Some(state);
+        self.tail_seq += 1;
+    }
+
+    /// The in-flight entry with sequence number `seq`, if present.
+    pub fn get(&self, seq: u64) -> Option<&InstrState> {
+        if seq < self.head_seq || seq >= self.tail_seq {
+            return None;
+        }
+        self.slots[self.slot_of(seq)].as_ref()
+    }
+
+    /// Mutable access to the entry with sequence number `seq`.
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut InstrState> {
+        if seq < self.head_seq || seq >= self.tail_seq {
+            return None;
+        }
+        let slot = self.slot_of(seq);
+        self.slots[slot].as_mut()
+    }
+
+    /// The oldest in-flight entry.
+    pub fn head(&self) -> Option<&InstrState> {
+        self.get(self.head_seq)
+    }
+
+    /// Sequence number of the oldest in-flight entry.
+    pub fn head_seq(&self) -> u64 {
+        self.head_seq
+    }
+
+    /// Sequence number the next allocation will get.
+    pub fn next_seq(&self) -> u64 {
+        self.tail_seq
+    }
+
+    /// Retires the oldest entry, returning it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn pop_head(&mut self) -> InstrState {
+        assert!(!self.is_empty(), "window empty");
+        let slot = self.slot_of(self.head_seq);
+        let state = self.slots[slot].take().expect("head slot occupied");
+        self.head_seq += 1;
+        state
+    }
+
+    /// Iterates over in-flight sequence numbers in program order.
+    pub fn seqs(&self) -> impl Iterator<Item = u64> {
+        self.head_seq..self.tail_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s64v_isa::Instr;
+
+    fn entry(seq: u64) -> InstrState {
+        InstrState::new(seq, TraceRecord::new(seq * 4, Instr::nop()))
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut rob = Rob::new(4);
+        for s in 0..4 {
+            rob.push(entry(s));
+        }
+        assert!(rob.is_full());
+        for s in 0..4 {
+            assert_eq!(rob.pop_head().seq, s);
+        }
+        assert!(rob.is_empty());
+    }
+
+    #[test]
+    fn slots_are_reused_across_wraparound() {
+        let mut rob = Rob::new(2);
+        rob.push(entry(0));
+        rob.push(entry(1));
+        rob.pop_head();
+        rob.push(entry(2));
+        assert_eq!(rob.len(), 2);
+        assert_eq!(rob.head().unwrap().seq, 1);
+        assert!(rob.get(0).is_none(), "retired seq is gone");
+        assert!(rob.get(2).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "window full")]
+    fn push_beyond_capacity_panics() {
+        let mut rob = Rob::new(1);
+        rob.push(entry(0));
+        rob.push(entry(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    fn out_of_order_allocation_panics() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(1));
+    }
+
+    #[test]
+    fn get_mut_updates_state() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(0));
+        rob.get_mut(0).unwrap().dispatched = true;
+        assert!(rob.get(0).unwrap().dispatched);
+    }
+
+    #[test]
+    fn cancel_resets_dispatch_state() {
+        let mut e = entry(3);
+        e.dispatched = true;
+        e.result_at = Some(10);
+        e.result_speculative = true;
+        e.cancel();
+        assert!(!e.dispatched);
+        assert_eq!(e.result_at, None);
+        assert_eq!(e.replays, 1);
+    }
+
+    #[test]
+    fn seqs_iterates_program_order() {
+        let mut rob = Rob::new(4);
+        for s in 0..3 {
+            rob.push(entry(s));
+        }
+        rob.pop_head();
+        let seqs: Vec<_> = rob.seqs().collect();
+        assert_eq!(seqs, vec![1, 2]);
+    }
+}

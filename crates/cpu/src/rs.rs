@@ -1,0 +1,356 @@
+//! Reservation stations (§3, §4.4.1).
+//!
+//! Four kinds: RSE (integer, 2×8), RSF (floating point, 2×8), RSA (address
+//! generation, 10) and RSBR (branch, 10). In the shipped "2RS" scheme each
+//! RSE/RSF buffer is hard-wired to one execution unit and dispatches at
+//! most one operation per cycle; the studied "1RS" alternative pools the
+//! entries and dispatches up to two per cycle to either unit.
+
+use crate::config::{CoreConfig, RsScheme};
+use s64v_isa::RsKind;
+
+/// Entries waiting in one buffer, ordered by age (sequence number).
+type Buffer = Vec<u64>;
+
+/// All reservation stations of one core.
+#[derive(Debug, Clone)]
+pub struct ReservationStations {
+    scheme: RsScheme,
+    rse: [Buffer; 2],
+    rsf: [Buffer; 2],
+    rsa: Buffer,
+    rsbr: Buffer,
+    rse_per_buffer: usize,
+    rsf_per_buffer: usize,
+    rsa_entries: usize,
+    rsbr_entries: usize,
+    steer_rse: u8,
+    steer_rsf: u8,
+}
+
+impl ReservationStations {
+    /// Creates empty stations per the core configuration.
+    pub fn new(cfg: &CoreConfig) -> Self {
+        ReservationStations {
+            scheme: cfg.rs_scheme,
+            rse: [Vec::new(), Vec::new()],
+            rsf: [Vec::new(), Vec::new()],
+            rsa: Vec::new(),
+            rsbr: Vec::new(),
+            rse_per_buffer: cfg.rse_entries as usize,
+            rsf_per_buffer: cfg.rsf_entries as usize,
+            rsa_entries: cfg.rsa_entries as usize,
+            rsbr_entries: cfg.rsbr_entries as usize,
+            steer_rse: 0,
+            steer_rsf: 0,
+        }
+    }
+
+    /// Whether an entry of `kind` can be inserted.
+    pub fn has_space(&self, kind: RsKind) -> bool {
+        match kind {
+            RsKind::Rse => match self.scheme {
+                RsScheme::Split => self.rse.iter().any(|b| b.len() < self.rse_per_buffer),
+                RsScheme::Unified => self.rse[0].len() < 2 * self.rse_per_buffer,
+            },
+            RsKind::Rsf => match self.scheme {
+                RsScheme::Split => self.rsf.iter().any(|b| b.len() < self.rsf_per_buffer),
+                RsScheme::Unified => self.rsf[0].len() < 2 * self.rsf_per_buffer,
+            },
+            RsKind::Rsa => self.rsa.len() < self.rsa_entries,
+            RsKind::Rsbr => self.rsbr.len() < self.rsbr_entries,
+        }
+    }
+
+    /// Inserts `seq` into a station of `kind`, returning the buffer index
+    /// it was steered to (always 0 except RSE/RSF in the split scheme).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the station is full ([`Self::has_space`] first).
+    pub fn insert(&mut self, kind: RsKind, seq: u64) -> u8 {
+        match kind {
+            RsKind::Rse => {
+                let buf = Self::steer(
+                    &mut self.rse,
+                    self.scheme,
+                    self.rse_per_buffer,
+                    &mut self.steer_rse,
+                );
+                self.rse[buf as usize].push(seq);
+                buf
+            }
+            RsKind::Rsf => {
+                let buf = Self::steer(
+                    &mut self.rsf,
+                    self.scheme,
+                    self.rsf_per_buffer,
+                    &mut self.steer_rsf,
+                );
+                self.rsf[buf as usize].push(seq);
+                buf
+            }
+            RsKind::Rsa => {
+                assert!(self.rsa.len() < self.rsa_entries, "RSA full");
+                self.rsa.push(seq);
+                0
+            }
+            RsKind::Rsbr => {
+                assert!(self.rsbr.len() < self.rsbr_entries, "RSBR full");
+                self.rsbr.push(seq);
+                0
+            }
+        }
+    }
+
+    fn steer(buffers: &mut [Buffer; 2], scheme: RsScheme, per_buffer: usize, rr: &mut u8) -> u8 {
+        match scheme {
+            RsScheme::Unified => {
+                assert!(buffers[0].len() < 2 * per_buffer, "unified RS full");
+                0
+            }
+            RsScheme::Split => {
+                // Round-robin steering, skipping a full buffer.
+                let first = *rr % 2;
+                let second = (first + 1) % 2;
+                *rr = rr.wrapping_add(1);
+                if buffers[first as usize].len() < per_buffer {
+                    first
+                } else if buffers[second as usize].len() < per_buffer {
+                    second
+                } else {
+                    panic!("both RS buffers full");
+                }
+            }
+        }
+    }
+
+    /// Re-inserts a cancelled instruction into the buffer it came from,
+    /// keeping age order.
+    pub fn reinsert(&mut self, kind: RsKind, buffer: u8, seq: u64) {
+        let buf = self.buffer_mut(kind, buffer);
+        let pos = buf.partition_point(|&s| s < seq);
+        buf.insert(pos, seq);
+    }
+
+    fn buffer_mut(&mut self, kind: RsKind, buffer: u8) -> &mut Buffer {
+        match kind {
+            RsKind::Rse => &mut self.rse[buffer as usize],
+            RsKind::Rsf => &mut self.rsf[buffer as usize],
+            RsKind::Rsa => &mut self.rsa,
+            RsKind::Rsbr => &mut self.rsbr,
+        }
+    }
+
+    /// Selects and removes this cycle's dispatches for `kind`.
+    ///
+    /// `ready(seq)` reports whether an entry's operands allow dispatch;
+    /// `unit_free(unit)` whether the target execution unit can accept one
+    /// (units are 0/1 for RSE/RSF/RSA, 0 for RSBR). Returns
+    /// `(seq, unit, buffer)` triples.
+    pub fn select_dispatch(
+        &mut self,
+        kind: RsKind,
+        mut ready: impl FnMut(u64) -> bool,
+        mut unit_free: impl FnMut(u8) -> bool,
+    ) -> Vec<(u64, u8, u8)> {
+        let mut out = Vec::new();
+        match kind {
+            RsKind::Rse | RsKind::Rsf => {
+                let split = self.scheme == RsScheme::Split;
+                let buffers = if kind == RsKind::Rse {
+                    &mut self.rse
+                } else {
+                    &mut self.rsf
+                };
+                if split {
+                    // One dispatch per buffer, each wired to its own unit.
+                    for (b, buf) in buffers.iter_mut().enumerate() {
+                        if !unit_free(b as u8) {
+                            continue;
+                        }
+                        if let Some(pos) = buf.iter().position(|&s| ready(s)) {
+                            let seq = buf.remove(pos);
+                            out.push((seq, b as u8, b as u8));
+                        }
+                    }
+                } else {
+                    // Pooled: up to two dispatches to any free unit.
+                    let pool = &mut buffers[0];
+                    let mut units: Vec<u8> = (0..2).filter(|&u| unit_free(u)).collect();
+                    let mut pos = 0;
+                    while !units.is_empty() && pos < pool.len() {
+                        if ready(pool[pos]) {
+                            let seq = pool.remove(pos);
+                            out.push((seq, units.remove(0), 0));
+                        } else {
+                            pos += 1;
+                        }
+                    }
+                }
+            }
+            RsKind::Rsa => {
+                let mut units: Vec<u8> = (0..2).filter(|&u| unit_free(u)).collect();
+                let mut pos = 0;
+                while !units.is_empty() && pos < self.rsa.len() {
+                    if ready(self.rsa[pos]) {
+                        let seq = self.rsa.remove(pos);
+                        out.push((seq, units.remove(0), 0));
+                    } else {
+                        pos += 1;
+                    }
+                }
+            }
+            RsKind::Rsbr => {
+                if unit_free(0) {
+                    if let Some(pos) = self.rsbr.iter().position(|&s| ready(s)) {
+                        let seq = self.rsbr.remove(pos);
+                        out.push((seq, 0, 0));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Total entries waiting in stations of `kind`.
+    pub fn occupancy(&self, kind: RsKind) -> usize {
+        match kind {
+            RsKind::Rse => self.rse.iter().map(Vec::len).sum(),
+            RsKind::Rsf => self.rsf.iter().map(Vec::len).sum(),
+            RsKind::Rsa => self.rsa.len(),
+            RsKind::Rsbr => self.rsbr.len(),
+        }
+    }
+
+    /// Whether every station is empty.
+    pub fn is_empty(&self) -> bool {
+        RsKind::ALL.iter().all(|&k| self.occupancy(k) == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoreConfig;
+
+    fn split() -> ReservationStations {
+        ReservationStations::new(&CoreConfig::sparc64_v())
+    }
+
+    fn unified() -> ReservationStations {
+        ReservationStations::new(&CoreConfig::sparc64_v().with_unified_rs())
+    }
+
+    #[test]
+    fn split_rse_dispatches_one_per_buffer() {
+        let mut rs = split();
+        // Steered round-robin: seqs 0,2 -> buffer 0; 1,3 -> buffer 1.
+        for s in 0..4 {
+            rs.insert(RsKind::Rse, s);
+        }
+        let picked = rs.select_dispatch(RsKind::Rse, |_| true, |_| true);
+        assert_eq!(picked.len(), 2);
+        // One from each buffer, to its own unit.
+        let units: Vec<u8> = picked.iter().map(|&(_, u, _)| u).collect();
+        assert_eq!(units, vec![0, 1]);
+        assert_eq!(rs.occupancy(RsKind::Rse), 2);
+    }
+
+    #[test]
+    fn split_cannot_dispatch_two_from_one_buffer() {
+        let mut rs = split();
+        let b0 = rs.insert(RsKind::Rse, 0);
+        let b1 = rs.insert(RsKind::Rse, 1);
+        assert_ne!(b0, b1, "round-robin steering");
+        // Only the entry in buffer 0 is ready.
+        let picked = rs.select_dispatch(RsKind::Rse, |s| s == 0, |_| true);
+        assert_eq!(
+            picked.len(),
+            1,
+            "buffer 1's entry is not ready; its unit idles"
+        );
+    }
+
+    #[test]
+    fn unified_dispatches_two_from_the_pool() {
+        let mut rs = unified();
+        for s in 0..4 {
+            rs.insert(RsKind::Rse, s);
+        }
+        // Entries 2 and 3 ready: the pooled scheme can still dispatch both.
+        let picked = rs.select_dispatch(RsKind::Rse, |s| s >= 2, |_| true);
+        assert_eq!(picked.len(), 2);
+        let seqs: Vec<u64> = picked.iter().map(|&(s, _, _)| s).collect();
+        assert_eq!(seqs, vec![2, 3]);
+    }
+
+    #[test]
+    fn oldest_ready_first() {
+        let mut rs = split();
+        for s in 0..3 {
+            rs.insert(RsKind::Rsa, s);
+        }
+        let picked = rs.select_dispatch(RsKind::Rsa, |s| s != 0, |_| true);
+        let seqs: Vec<u64> = picked.iter().map(|&(s, _, _)| s).collect();
+        assert_eq!(seqs, vec![1, 2], "skip not-ready oldest, take next two");
+    }
+
+    #[test]
+    fn rsbr_dispatches_at_most_one() {
+        let mut rs = split();
+        for s in 0..3 {
+            rs.insert(RsKind::Rsbr, s);
+        }
+        let picked = rs.select_dispatch(RsKind::Rsbr, |_| true, |_| true);
+        assert_eq!(picked.len(), 1);
+        assert_eq!(picked[0].0, 0);
+    }
+
+    #[test]
+    fn busy_unit_blocks_its_buffer() {
+        let mut rs = split();
+        rs.insert(RsKind::Rse, 0); // buffer 0
+        let picked = rs.select_dispatch(RsKind::Rse, |_| true, |u| u != 0);
+        assert!(picked.is_empty(), "unit 0 busy, buffer 0 cannot dispatch");
+    }
+
+    #[test]
+    fn capacity_checks() {
+        let mut rs = split();
+        for s in 0..16 {
+            assert!(rs.has_space(RsKind::Rse));
+            rs.insert(RsKind::Rse, s);
+        }
+        assert!(!rs.has_space(RsKind::Rse));
+        for s in 0..10 {
+            rs.insert(RsKind::Rsa, s);
+        }
+        assert!(!rs.has_space(RsKind::Rsa));
+    }
+
+    #[test]
+    fn reinsert_restores_age_order() {
+        let mut rs = split();
+        rs.insert(RsKind::Rsa, 0);
+        rs.insert(RsKind::Rsa, 2);
+        rs.reinsert(RsKind::Rsa, 0, 1);
+        let picked = rs.select_dispatch(RsKind::Rsa, |_| true, |_| true);
+        let seqs: Vec<u64> = picked.iter().map(|&(s, _, _)| s).collect();
+        assert_eq!(
+            seqs,
+            vec![0, 1],
+            "reinserted entry sits between its neighbours"
+        );
+    }
+
+    #[test]
+    fn unified_pool_has_double_capacity() {
+        let mut rs = unified();
+        for s in 0..16 {
+            assert!(rs.has_space(RsKind::Rse), "entry {s} must fit");
+            rs.insert(RsKind::Rse, s);
+        }
+        assert!(!rs.has_space(RsKind::Rse));
+    }
+}

@@ -1,0 +1,260 @@
+//! The set-associative cache structure.
+
+use crate::addr::line_number;
+use crate::cache::set::{CacheSet, LineEntry};
+use crate::config::CacheGeometry;
+
+/// A line pushed out of the cache by an insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Line-aligned byte address of the evicted line.
+    pub line_addr: u64,
+    /// Whether the line was dirty (needs a copy-back).
+    pub dirty: bool,
+}
+
+/// A set-associative cache directory with true-LRU replacement.
+///
+/// This models *presence* (tags, dirty bits, replacement); timing lives in
+/// [`crate::hierarchy::MemorySystem`]. Addresses passed in may be unaligned;
+/// the cache works on line numbers internally.
+///
+/// # Examples
+///
+/// ```
+/// use s64v_mem::cache::Cache;
+/// use s64v_mem::config::CacheGeometry;
+///
+/// let mut c = Cache::new(CacheGeometry::new(8 * 1024, 2, 1));
+/// assert!(!c.access(0x1000));         // cold miss
+/// c.fill(0x1000, false);
+/// assert!(c.access(0x1000));          // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geometry: CacheGeometry,
+    sets: Vec<CacheSet>,
+    set_mask: u64,
+    stamp: u64,
+}
+
+impl Cache {
+    /// Creates an empty (cold) cache.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let sets = geometry.sets();
+        Cache {
+            geometry,
+            sets: (0..sets).map(|_| CacheSet::new(geometry.ways)).collect(),
+            set_mask: sets - 1,
+            stamp: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// The set an address maps to (exposed so tests can construct
+    /// deliberately conflicting address sets).
+    ///
+    /// Traces carry *virtual* addresses whose segments sit at widely
+    /// spaced, highly aligned bases; a real machine's physically indexed
+    /// cache sees them scattered across page frames by the OS allocator.
+    /// Plain modulo indexing of the virtual line number would alias every
+    /// segment base onto the same sets (leaving most of an 8 MB L2 cold),
+    /// so the index first maps each 8 KB page to a deterministic
+    /// pseudo-random frame and keeps lines contiguous within the page —
+    /// exactly the structure of physical indexing.
+    pub fn set_of(&self, addr: u64) -> usize {
+        self.set_index(line_number(addr))
+    }
+
+    /// log2(lines per 8 KB page).
+    const PAGE_LINE_BITS: u32 = 7;
+
+    /// Page-color bits preserved from the virtual page number. Purely
+    /// random frames would give a 32 KB direct-mapped cache only four
+    /// possible per-page set windows and hot pages would collide for a
+    /// whole run; enterprise OSes of the era (Solaris bins, page coloring)
+    /// kept the low virtual page bits in the frame to avoid exactly that.
+    const COLOR_BITS: u32 = 6;
+
+    fn set_index(&self, line: u64) -> usize {
+        let page = line >> Self::PAGE_LINE_BITS;
+        let offset = line & ((1 << Self::PAGE_LINE_BITS) - 1);
+        // Fibonacci hashing spreads the upper frame bits; the low bits
+        // keep the virtual page color (see COLOR_BITS).
+        let hashed = page.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16;
+        let color_mask = (1u64 << Self::COLOR_BITS) - 1;
+        let frame = (hashed & !color_mask) | (page & color_mask);
+        let pa_line = (frame << Self::PAGE_LINE_BITS) | offset;
+        (pa_line & self.set_mask) as usize
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.stamp += 1;
+        self.stamp
+    }
+
+    /// Performs a demand access: returns `true` on a hit (refreshing LRU).
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = line_number(addr);
+        let idx = self.set_index(line);
+        let stamp = self.bump();
+        self.sets[idx].lookup(line, stamp)
+    }
+
+    /// Whether the line containing `addr` is resident (no LRU update).
+    pub fn contains(&self, addr: u64) -> bool {
+        let line = line_number(addr);
+        self.sets[self.set_index(line)].probe(line)
+    }
+
+    /// Fills the line containing `addr`, returning any eviction.
+    ///
+    /// Filling an already-resident line refreshes it instead (e.g. two
+    /// merged misses to the same line).
+    pub fn fill(&mut self, addr: u64, dirty: bool) -> Option<Eviction> {
+        self.fill_protected(addr, dirty, |_| false)
+    }
+
+    /// Like [`Cache::fill`], but victim selection avoids lines for which
+    /// `protected(line_addr)` is true (L1-residency hints for the L2 —
+    /// see [`CacheSet::insert_protected`]).
+    pub fn fill_protected(
+        &mut self,
+        addr: u64,
+        dirty: bool,
+        protected: impl Fn(u64) -> bool,
+    ) -> Option<Eviction> {
+        let line = line_number(addr);
+        let idx = self.set_index(line);
+        let stamp = self.bump();
+        if self.sets[idx].lookup(line, stamp) {
+            if dirty {
+                self.sets[idx].mark_dirty(line);
+            }
+            return None;
+        }
+        self.sets[idx]
+            .insert_protected(line, dirty, stamp, |tag| {
+                protected(tag * crate::addr::LINE_BYTES)
+            })
+            .map(|e: LineEntry| Eviction {
+                line_addr: e.tag * crate::addr::LINE_BYTES,
+                dirty: e.dirty,
+            })
+    }
+
+    /// Marks the line containing `addr` dirty (a store hit). Returns
+    /// whether the line was resident.
+    pub fn mark_dirty(&mut self, addr: u64) -> bool {
+        let line = line_number(addr);
+        let idx = self.set_index(line);
+        self.sets[idx].mark_dirty(line)
+    }
+
+    /// Clears the dirty bit of the line containing `addr` (a coherence
+    /// downgrade after a move-out pushed the data to memory). Returns
+    /// whether the line was resident.
+    pub fn mark_clean(&mut self, addr: u64) -> bool {
+        let line = line_number(addr);
+        let idx = self.set_index(line);
+        self.sets[idx].mark_clean(line)
+    }
+
+    /// Invalidates the line containing `addr` (coherence, inclusion).
+    /// Returns the dirty bit if the line was present.
+    pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
+        let line = line_number(addr);
+        let idx = self.set_index(line);
+        self.sets[idx].invalidate(line).map(|e| e.dirty)
+    }
+
+    /// Total resident lines (for capacity invariants in tests).
+    pub fn occupancy(&self) -> u64 {
+        self.sets.iter().map(|s| s.occupancy() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::LINE_BYTES;
+
+    fn tiny() -> Cache {
+        // 4 sets × 2 ways × 64 B = 512 B
+        Cache::new(CacheGeometry::new(512, 2, 1))
+    }
+
+    #[test]
+    fn cold_miss_then_hit_after_fill() {
+        let mut c = tiny();
+        assert!(!c.access(0x40));
+        assert!(c.fill(0x40, false).is_none());
+        assert!(c.access(0x40));
+        assert!(c.access(0x44), "same line, different offset");
+    }
+
+    /// First `n` line-aligned addresses mapping to the same set as `base`.
+    fn colliding(c: &Cache, base: u64, n: usize) -> Vec<u64> {
+        let target = c.set_of(base);
+        (1..10_000u64)
+            .map(|i| base + i * LINE_BYTES)
+            .filter(|&a| c.set_of(a) == target)
+            .take(n)
+            .collect()
+    }
+
+    #[test]
+    fn conflicting_lines_evict_lru() {
+        let mut c = tiny();
+        let a = 0;
+        let peers = colliding(&c, a, 2);
+        let (b, d) = (peers[0], peers[1]);
+        c.fill(a, false);
+        c.fill(b, false);
+        c.access(a); // refresh a
+        let ev = c.fill(d, false).expect("set full, must evict");
+        assert_eq!(ev.line_addr, b);
+        assert!(!ev.dirty);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_copy_back() {
+        let mut c = Cache::new(CacheGeometry::new(128, 1, 1)); // 2 sets direct-mapped
+        c.fill(0, false);
+        assert!(c.mark_dirty(0));
+        let peer = colliding(&c, 0, 1)[0];
+        let ev = c.fill(peer, false).expect("conflict");
+        assert!(ev.dirty);
+        assert_eq!(ev.line_addr, 0);
+    }
+
+    #[test]
+    fn refilling_resident_line_does_not_evict() {
+        let mut c = tiny();
+        c.fill(0x100, false);
+        assert!(c.fill(0x100, true).is_none());
+        // The merged fill's dirty bit sticks.
+        let set_line = c.invalidate(0x100).unwrap();
+        assert!(set_line);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let mut c = tiny();
+        for i in 0..100 {
+            c.fill(i * LINE_BYTES, i % 3 == 0);
+            assert!(c.occupancy() <= c.geometry().lines());
+        }
+        assert_eq!(c.occupancy(), c.geometry().lines());
+    }
+
+    #[test]
+    fn invalidate_absent_line_is_none() {
+        let mut c = tiny();
+        assert!(c.invalidate(0x9999).is_none());
+    }
+}

@@ -1,0 +1,135 @@
+//! Miss-status holding registers (non-blocking cache support).
+//!
+//! A request that misses allocates an MSHR tracking the in-flight line;
+//! later requests to the same line *merge* into the existing entry instead
+//! of generating new traffic (§3.2: "a request that causes an L1 operand
+//! cache miss stays in load/store queues until its requested line become
+//! ready in the L1 cache").
+
+use std::collections::HashMap;
+
+/// A file of miss-status holding registers keyed by line address.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: u32,
+    pending: HashMap<u64, u64>, // line_addr -> completion cycle
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one entry");
+        MshrFile {
+            capacity,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Removes entries whose fills completed at or before `now`.
+    pub fn retire_completed(&mut self, now: u64) {
+        self.pending.retain(|_, &mut done| done > now);
+    }
+
+    /// If the line is already in flight, returns its completion cycle
+    /// (the merging path).
+    pub fn pending_completion(&self, line_addr: u64) -> Option<u64> {
+        self.pending.get(&line_addr).copied()
+    }
+
+    /// Whether a new miss can be accepted at `now`.
+    pub fn has_free_entry(&mut self, now: u64) -> bool {
+        self.retire_completed(now);
+        (self.pending.len() as u32) < self.capacity
+    }
+
+    /// The earliest cycle at which an entry frees up (used to stall a miss
+    /// when the file is full). Returns `now` if an entry is already free.
+    pub fn next_free_at(&mut self, now: u64) -> u64 {
+        if self.has_free_entry(now) {
+            now
+        } else {
+            self.pending
+                .values()
+                .copied()
+                .min()
+                .expect("full file is non-empty")
+        }
+    }
+
+    /// Allocates an entry for a line completing at `complete_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line already has an entry (callers must merge first)
+    /// or if the file is over capacity.
+    pub fn allocate(&mut self, line_addr: u64, complete_at: u64) {
+        assert!(
+            !self.pending.contains_key(&line_addr),
+            "line {line_addr:#x} already has an MSHR; merge instead"
+        );
+        assert!(
+            (self.pending.len() as u32) < self.capacity,
+            "MSHR file over capacity"
+        );
+        self.pending.insert(line_addr, complete_at);
+    }
+
+    /// Number of in-flight entries (without retiring).
+    pub fn occupancy(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_returns_existing_completion() {
+        let mut m = MshrFile::new(4);
+        m.allocate(0x100, 50);
+        assert_eq!(m.pending_completion(0x100), Some(50));
+        assert_eq!(m.pending_completion(0x140), None);
+    }
+
+    #[test]
+    fn capacity_limits_new_misses() {
+        let mut m = MshrFile::new(2);
+        m.allocate(0x00, 100);
+        m.allocate(0x40, 120);
+        assert!(!m.has_free_entry(10));
+        assert_eq!(m.next_free_at(10), 100);
+        // After the first fill completes, an entry frees.
+        assert!(m.has_free_entry(100));
+        assert_eq!(m.occupancy(), 1);
+    }
+
+    #[test]
+    fn retire_clears_completed() {
+        let mut m = MshrFile::new(2);
+        m.allocate(0x00, 10);
+        m.allocate(0x40, 20);
+        m.retire_completed(15);
+        assert_eq!(m.occupancy(), 1);
+        assert_eq!(m.pending_completion(0x40), Some(20));
+        assert_eq!(m.pending_completion(0x00), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "merge instead")]
+    fn double_allocation_is_a_bug() {
+        let mut m = MshrFile::new(2);
+        m.allocate(0x100, 5);
+        m.allocate(0x100, 9);
+    }
+
+    #[test]
+    fn next_free_at_with_space_is_now() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.next_free_at(7), 7);
+    }
+}

@@ -1,0 +1,294 @@
+//! MESI directory shared by the L2 caches.
+
+use std::collections::HashMap;
+
+/// MESI coherence state of a line in one CPU's L2.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Mesi {
+    /// Dirty, exclusive owner.
+    Modified,
+    /// Clean, exclusive owner.
+    Exclusive,
+    /// Clean, possibly replicated.
+    Shared,
+    /// Not present.
+    #[default]
+    Invalid,
+}
+
+impl Mesi {
+    /// Whether the state holds valid data.
+    pub fn is_valid(self) -> bool {
+        self != Mesi::Invalid
+    }
+}
+
+/// Where a read miss was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// No other cache held the line: data comes from memory; requester
+    /// becomes Exclusive.
+    FromMemory,
+    /// Another CPU held the line Modified: a cache-to-cache *move-out*
+    /// supplies the data (and the owner downgrades to Shared).
+    MoveOut {
+        /// The CPU that supplied the line.
+        owner: usize,
+    },
+    /// Other CPUs held the line clean (Shared/Exclusive): data comes from
+    /// memory (or an unmodeled clean transfer); requester becomes Shared.
+    SharedFill,
+}
+
+/// What a write (store miss or upgrade) had to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Copies invalidated in other CPUs.
+    pub invalidations: u32,
+    /// Whether a remote Modified copy had to be moved out first.
+    pub move_out_from: Option<usize>,
+    /// Whether the writer already held the line (upgrade rather than fill).
+    pub was_upgrade: bool,
+}
+
+/// Central MESI directory over all CPUs' L2 caches.
+///
+/// The directory is the source of truth for sharing state; the L2 [`crate::cache::Cache`]
+/// structures track presence/replacement and must be kept in sync by the
+/// hierarchy (fills and evictions call into both).
+#[derive(Debug, Clone)]
+pub struct Directory {
+    cores: usize,
+    lines: HashMap<u64, Vec<Mesi>>,
+}
+
+impl Directory {
+    /// Creates a directory for `cores` CPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0, "directory needs at least one core");
+        Directory {
+            cores,
+            lines: HashMap::new(),
+        }
+    }
+
+    /// Number of CPUs.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Current state of `line_addr` in `core`'s L2.
+    pub fn state(&self, core: usize, line_addr: u64) -> Mesi {
+        self.lines
+            .get(&line_addr)
+            .map(|v| v[core])
+            .unwrap_or(Mesi::Invalid)
+    }
+
+    fn entry(&mut self, line_addr: u64) -> &mut Vec<Mesi> {
+        let cores = self.cores;
+        self.lines
+            .entry(line_addr)
+            .or_insert_with(|| vec![Mesi::Invalid; cores])
+    }
+
+    /// Handles a read miss by `core` for `line_addr`; transitions states
+    /// and reports where the data came from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn read(&mut self, core: usize, line_addr: u64) -> ReadOutcome {
+        assert!(core < self.cores, "core {core} out of range");
+        let states = self.entry(line_addr);
+        debug_assert_eq!(states[core], Mesi::Invalid, "read miss on a valid line");
+
+        let mut owner_m: Option<usize> = None;
+        let mut any_valid = false;
+        for (i, s) in states.iter_mut().enumerate() {
+            match *s {
+                Mesi::Modified => owner_m = Some(i),
+                Mesi::Exclusive => {
+                    *s = Mesi::Shared;
+                    any_valid = true;
+                }
+                Mesi::Shared => any_valid = true,
+                Mesi::Invalid => {}
+            }
+        }
+        if let Some(owner) = owner_m {
+            states[owner] = Mesi::Shared;
+            states[core] = Mesi::Shared;
+            ReadOutcome::MoveOut { owner }
+        } else if any_valid {
+            states[core] = Mesi::Shared;
+            ReadOutcome::SharedFill
+        } else {
+            states[core] = Mesi::Exclusive;
+            ReadOutcome::FromMemory
+        }
+    }
+
+    /// Handles a write by `core` (store miss or upgrade of a clean copy):
+    /// invalidates all other copies, moves out a remote Modified copy, and
+    /// leaves the writer in Modified.
+    pub fn write(&mut self, core: usize, line_addr: u64) -> WriteOutcome {
+        assert!(core < self.cores, "core {core} out of range");
+        let states = self.entry(line_addr);
+        let was_upgrade = states[core].is_valid();
+        let mut invalidations = 0;
+        let mut move_out_from = None;
+        for (i, s) in states.iter_mut().enumerate() {
+            if i == core {
+                continue;
+            }
+            match *s {
+                Mesi::Modified => {
+                    move_out_from = Some(i);
+                    *s = Mesi::Invalid;
+                    invalidations += 1;
+                }
+                Mesi::Exclusive | Mesi::Shared => {
+                    *s = Mesi::Invalid;
+                    invalidations += 1;
+                }
+                Mesi::Invalid => {}
+            }
+        }
+        states[core] = Mesi::Modified;
+        WriteOutcome {
+            invalidations,
+            move_out_from,
+            was_upgrade,
+        }
+    }
+
+    /// Records that `core` evicted `line_addr` from its L2. Returns whether
+    /// the evicted copy was Modified (needs a write-back to memory).
+    pub fn evict(&mut self, core: usize, line_addr: u64) -> bool {
+        assert!(core < self.cores, "core {core} out of range");
+        let Some(states) = self.lines.get_mut(&line_addr) else {
+            return false;
+        };
+        let was_modified = states[core] == Mesi::Modified;
+        states[core] = Mesi::Invalid;
+        if states.iter().all(|s| !s.is_valid()) {
+            self.lines.remove(&line_addr);
+        }
+        was_modified
+    }
+
+    /// Checks the MESI invariants for a line (test/debug helper):
+    /// at most one Modified/Exclusive copy, and M/E never coexist with any
+    /// other valid copy.
+    pub fn check_invariants(&self, line_addr: u64) -> bool {
+        let Some(states) = self.lines.get(&line_addr) else {
+            return true;
+        };
+        let m = states.iter().filter(|s| **s == Mesi::Modified).count();
+        let e = states.iter().filter(|s| **s == Mesi::Exclusive).count();
+        let valid = states.iter().filter(|s| s.is_valid()).count();
+        if m + e > 1 {
+            return false;
+        }
+        if (m == 1 || e == 1) && valid > 1 {
+            return false;
+        }
+        true
+    }
+
+    /// Lines with at least one valid copy (test helper).
+    pub fn tracked_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_reader_is_exclusive() {
+        let mut d = Directory::new(4);
+        assert_eq!(d.read(0, 0x40), ReadOutcome::FromMemory);
+        assert_eq!(d.state(0, 0x40), Mesi::Exclusive);
+        assert!(d.check_invariants(0x40));
+    }
+
+    #[test]
+    fn second_reader_shares_and_downgrades_exclusive() {
+        let mut d = Directory::new(2);
+        d.read(0, 0x40);
+        assert_eq!(d.read(1, 0x40), ReadOutcome::SharedFill);
+        assert_eq!(d.state(0, 0x40), Mesi::Shared);
+        assert_eq!(d.state(1, 0x40), Mesi::Shared);
+        assert!(d.check_invariants(0x40));
+    }
+
+    #[test]
+    fn reading_a_modified_line_is_a_move_out() {
+        let mut d = Directory::new(2);
+        d.write(0, 0x40);
+        assert_eq!(d.state(0, 0x40), Mesi::Modified);
+        assert_eq!(d.read(1, 0x40), ReadOutcome::MoveOut { owner: 0 });
+        assert_eq!(d.state(0, 0x40), Mesi::Shared);
+        assert!(d.check_invariants(0x40));
+    }
+
+    #[test]
+    fn write_invalidates_all_sharers() {
+        let mut d = Directory::new(3);
+        d.read(0, 0x80);
+        d.read(1, 0x80);
+        let w = d.write(2, 0x80);
+        assert_eq!(w.invalidations, 2);
+        assert!(w.move_out_from.is_none());
+        assert!(!w.was_upgrade);
+        assert_eq!(d.state(0, 0x80), Mesi::Invalid);
+        assert_eq!(d.state(2, 0x80), Mesi::Modified);
+        assert!(d.check_invariants(0x80));
+    }
+
+    #[test]
+    fn upgrade_from_shared() {
+        let mut d = Directory::new(2);
+        d.read(0, 0xc0);
+        d.read(1, 0xc0);
+        let w = d.write(0, 0xc0);
+        assert!(w.was_upgrade);
+        assert_eq!(w.invalidations, 1);
+    }
+
+    #[test]
+    fn write_steals_modified_line() {
+        let mut d = Directory::new(2);
+        d.write(0, 0x100);
+        let w = d.write(1, 0x100);
+        assert_eq!(w.move_out_from, Some(0));
+        assert_eq!(d.state(0, 0x100), Mesi::Invalid);
+        assert_eq!(d.state(1, 0x100), Mesi::Modified);
+    }
+
+    #[test]
+    fn eviction_reports_dirty_and_cleans_up() {
+        let mut d = Directory::new(2);
+        d.write(0, 0x140);
+        assert!(d.evict(0, 0x140));
+        assert_eq!(d.tracked_lines(), 0);
+        d.read(1, 0x140);
+        assert!(!d.evict(1, 0x140));
+    }
+
+    #[test]
+    fn single_core_degenerates_gracefully() {
+        let mut d = Directory::new(1);
+        assert_eq!(d.read(0, 0), ReadOutcome::FromMemory);
+        d.evict(0, 0);
+        let w = d.write(0, 0);
+        assert_eq!(w.invalidations, 0);
+    }
+}

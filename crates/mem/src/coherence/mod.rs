@@ -1,0 +1,12 @@
+//! Coherence between the per-CPU L2 caches.
+//!
+//! §2.1: "requests between L2 caches can be modeled for MP system
+//! performance models"; §3.3 motivates the two-level hierarchy partly by
+//! the cost of *move-out* requests from other CPUs. We track a MESI state
+//! per (line, cpu) in a central directory that plays the role of the
+//! snooping system bus, and surface the events the timing model charges:
+//! cache-to-cache transfers, invalidations and coherence write-backs.
+
+pub mod mesi;
+
+pub use mesi::{Directory, Mesi, ReadOutcome, WriteOutcome};

@@ -1,0 +1,309 @@
+//! Memory-system configuration and the design points studied in the paper.
+
+use crate::addr::LINE_BYTES;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache (size, associativity, access latency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Set associativity (1 = direct mapped).
+    pub ways: u32,
+    /// Access latency in cycles (load-to-use for a hit).
+    pub latency: u32,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the capacity is a positive multiple of
+    /// `ways × LINE_BYTES` and the set count is a power of two.
+    pub fn new(capacity_bytes: u64, ways: u32, latency: u32) -> Self {
+        assert!(ways >= 1, "cache needs at least one way");
+        assert!(latency >= 1, "cache latency must be at least one cycle");
+        let g = CacheGeometry {
+            capacity_bytes,
+            ways,
+            latency,
+        };
+        let sets = g.sets();
+        assert!(sets >= 1, "capacity too small for {ways} ways");
+        assert_eq!(
+            capacity_bytes,
+            sets * ways as u64 * LINE_BYTES,
+            "capacity must be sets × ways × {LINE_BYTES}"
+        );
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
+        g
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.capacity_bytes / (self.ways as u64 * LINE_BYTES)
+    }
+
+    /// Total number of lines.
+    pub fn lines(&self) -> u64 {
+        self.capacity_bytes / LINE_BYTES
+    }
+}
+
+/// Whether the L2 cache is on the processor die or on external SRAM.
+///
+/// §4.3.4 compares the on-chip 2 MB 4-way design against off-chip 8 MB
+/// designs whose access latency includes chip-to-chip communication.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum L2Location {
+    /// On-die L2 ("on.2m-4w" in the paper).
+    #[default]
+    OnChip,
+    /// External L2 ("off.8m-2w" / "off.8m-1w").
+    OffChip,
+}
+
+/// How CPUs connect to memory and to each other in SMP systems.
+///
+/// §2.1: "A bus network connecting chips between caches and memory, and
+/// data and request flows can be modeled in detail with the same concepts
+/// as those of actual systems." Enterprise servers of the SPARC64 V's
+/// class grouped CPUs onto system boards joined by a backplane crossbar;
+/// [`BusTopology::Hierarchical`] models that: snoops and transfers between
+/// boards traverse both the local board bus and the backplane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BusTopology {
+    /// One shared split-transaction bus (the default; exact for UP).
+    #[default]
+    Flat,
+    /// System boards of `cpus_per_board` CPUs behind a shared backplane;
+    /// cross-board traffic pays `board_crossing_cycles` extra latency and
+    /// occupies the backplane as well as the board bus.
+    Hierarchical {
+        /// CPUs per system board.
+        cpus_per_board: u32,
+        /// Extra latency for crossing between boards (cycles).
+        board_crossing_cycles: u32,
+    },
+}
+
+/// Full memory-system configuration.
+///
+/// [`MemConfig::sparc64_v`] is the production design (Table 1); the
+/// `with_*` methods derive the alternative design points evaluated in
+/// Figures 11–17.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// L1 instruction cache geometry.
+    pub l1i: CacheGeometry,
+    /// L1 operand (data) cache geometry.
+    pub l1d: CacheGeometry,
+    /// Number of L1 operand cache banks (8 × 4-byte banks on SPARC64 V).
+    pub l1d_banks: u32,
+    /// Width of one L1D bank in bytes.
+    pub l1d_bank_bytes: u64,
+    /// Maximum outstanding L1 misses per cache (MSHR entries).
+    pub l1_mshrs: u32,
+    /// L2 geometry.
+    pub l2: CacheGeometry,
+    /// On-chip or off-chip L2.
+    pub l2_location: L2Location,
+    /// Extra latency (cycles) charged on every L2 access when off-chip
+    /// (chip-to-chip communication; ≈10 ns at 1.3 GHz).
+    pub off_chip_penalty: u32,
+    /// Maximum outstanding L2 misses (MSHR entries).
+    pub l2_mshrs: u32,
+    /// Hardware prefetching into the L2 (§3.4).
+    pub prefetch_enabled: bool,
+    /// Prefetch degree: how many lines ahead the engine requests.
+    pub prefetch_degree: u32,
+    /// ITLB/DTLB entries (fully associative).
+    pub tlb_entries: u32,
+    /// TLB miss (table walk) penalty in cycles.
+    pub tlb_walk_cycles: u32,
+    /// Memory access latency in cycles (row access, before transfer).
+    pub dram_latency: u32,
+    /// System bus occupancy per line transfer, in cycles.
+    pub bus_line_cycles: u32,
+    /// System bus occupancy for an address-only transaction (upgrade,
+    /// invalidation) in cycles.
+    pub bus_cmd_cycles: u32,
+    /// Maximum outstanding bus transactions (system-wide).
+    pub bus_outstanding: u32,
+    /// Bus topology for SMP systems.
+    pub bus_topology: BusTopology,
+    /// Additional snoop latency charged on coherent L2 misses in SMP.
+    pub snoop_latency: u32,
+    /// Latency of a cache-to-cache move-out transfer (instead of DRAM).
+    pub move_out_latency: u32,
+    /// Perfect L1 caches: every L1I/L1D access hits.
+    pub perfect_l1: bool,
+    /// Perfect L2: every L1 miss hits in the L2.
+    pub perfect_l2: bool,
+    /// Perfect TLB: no table walks.
+    pub perfect_tlb: bool,
+}
+
+impl MemConfig {
+    /// The SPARC64 V production memory system (Table 1):
+    /// 128 KB 2-way L1I and L1D (4-cycle), 8×4 B D-cache banks,
+    /// on-chip 2 MB 4-way L2, hardware prefetch enabled.
+    pub fn sparc64_v() -> Self {
+        MemConfig {
+            l1i: CacheGeometry::new(128 * 1024, 2, 4),
+            l1d: CacheGeometry::new(128 * 1024, 2, 4),
+            l1d_banks: 8,
+            l1d_bank_bytes: 4,
+            l1_mshrs: 8,
+            l2: CacheGeometry::new(2 * 1024 * 1024, 4, 12),
+            l2_location: L2Location::OnChip,
+            off_chip_penalty: 13, // ≈10 ns at 1.3 GHz
+            l2_mshrs: 12,
+            prefetch_enabled: true,
+            prefetch_degree: 4,
+            tlb_entries: 512,
+            tlb_walk_cycles: 40,
+            dram_latency: 240,
+            bus_line_cycles: 8,
+            bus_cmd_cycles: 4,
+            bus_outstanding: 16,
+            bus_topology: BusTopology::Flat,
+            snoop_latency: 20,
+            move_out_latency: 160,
+            perfect_l1: false,
+            perfect_l2: false,
+            perfect_tlb: false,
+        }
+    }
+
+    /// Figure 11's small L1 alternative: 32 KB direct-mapped, 3-cycle
+    /// ("32k-1w.3c") for both I and D.
+    pub fn with_small_l1(mut self) -> Self {
+        self.l1i = CacheGeometry::new(32 * 1024, 1, 3);
+        self.l1d = CacheGeometry::new(32 * 1024, 1, 3);
+        self
+    }
+
+    /// Figure 14's off-chip 8 MB 2-way L2 ("off.8m-2w").
+    pub fn with_off_chip_l2_2way(mut self) -> Self {
+        self.l2 = CacheGeometry::new(8 * 1024 * 1024, 2, 12);
+        self.l2_location = L2Location::OffChip;
+        self
+    }
+
+    /// Figure 14's off-chip 8 MB direct-mapped L2 ("off.8m-1w").
+    pub fn with_off_chip_l2_direct(mut self) -> Self {
+        self.l2 = CacheGeometry::new(8 * 1024 * 1024, 1, 12);
+        self.l2_location = L2Location::OffChip;
+        self
+    }
+
+    /// Disables the hardware prefetcher (Figures 16–17 baseline).
+    pub fn without_prefetch(mut self) -> Self {
+        self.prefetch_enabled = false;
+        self
+    }
+
+    /// Effective L2 access latency including the off-chip penalty.
+    pub fn l2_latency(&self) -> u32 {
+        match self.l2_location {
+            L2Location::OnChip => self.l2.latency,
+            L2Location::OffChip => self.l2.latency + self.off_chip_penalty,
+        }
+    }
+
+    /// Uses a hierarchical (board + backplane) bus network for SMP runs.
+    pub fn with_hierarchical_bus(
+        mut self,
+        cpus_per_board: u32,
+        board_crossing_cycles: u32,
+    ) -> Self {
+        assert!(cpus_per_board >= 1, "boards need at least one CPU");
+        self.bus_topology = BusTopology::Hierarchical {
+            cpus_per_board,
+            board_crossing_cycles,
+        };
+        self
+    }
+
+    /// Idealizes the L1 caches.
+    pub fn with_perfect_l1(mut self) -> Self {
+        self.perfect_l1 = true;
+        self
+    }
+
+    /// Idealizes the L2 cache.
+    pub fn with_perfect_l2(mut self) -> Self {
+        self.perfect_l2 = true;
+        self
+    }
+
+    /// Idealizes the TLBs.
+    pub fn with_perfect_tlb(mut self) -> Self {
+        self.perfect_tlb = true;
+        self
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        Self::sparc64_v()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn production_geometry_matches_table_1() {
+        let c = MemConfig::sparc64_v();
+        assert_eq!(c.l1i.capacity_bytes, 128 * 1024);
+        assert_eq!(c.l1i.ways, 2);
+        assert_eq!(c.l1d_banks, 8);
+        assert_eq!(c.l1d_bank_bytes, 4);
+        assert_eq!(c.l2.capacity_bytes, 2 * 1024 * 1024);
+        assert_eq!(c.l2.ways, 4);
+        assert_eq!(c.l2_location, L2Location::OnChip);
+        assert!(c.prefetch_enabled);
+    }
+
+    #[test]
+    fn geometry_derives_sets_and_lines() {
+        let g = CacheGeometry::new(128 * 1024, 2, 4);
+        assert_eq!(g.sets(), 1024);
+        assert_eq!(g.lines(), 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn geometry_rejects_non_power_of_two_sets() {
+        let _ = CacheGeometry::new(96 * 1024, 2, 4);
+    }
+
+    #[test]
+    fn off_chip_l2_pays_the_chip_crossing() {
+        let on = MemConfig::sparc64_v();
+        let off = MemConfig::sparc64_v().with_off_chip_l2_2way();
+        assert!(off.l2_latency() > on.l2_latency());
+        assert_eq!(off.l2.capacity_bytes, 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn design_point_builders() {
+        let small = MemConfig::sparc64_v().with_small_l1();
+        assert_eq!(small.l1d.ways, 1);
+        assert_eq!(small.l1d.latency, 3);
+        let nopf = MemConfig::sparc64_v().without_prefetch();
+        assert!(!nopf.prefetch_enabled);
+        let ideal = MemConfig::sparc64_v()
+            .with_perfect_l1()
+            .with_perfect_l2()
+            .with_perfect_tlb();
+        assert!(ideal.perfect_l1 && ideal.perfect_l2 && ideal.perfect_tlb);
+    }
+}

@@ -1,0 +1,117 @@
+//! Memory-system statistics.
+
+use s64v_stats::{Counter, Histogram, Ratio};
+
+/// Access/miss counters for one cache or TLB.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses presented to the structure.
+    pub accesses: Counter,
+    /// Accesses that missed.
+    pub misses: Counter,
+}
+
+impl CacheStats {
+    /// Records an access with the given outcome.
+    pub fn record(&mut self, hit: bool) {
+        self.accesses.incr();
+        if !hit {
+            self.misses.incr();
+        }
+    }
+
+    /// Miss ratio (misses / accesses).
+    pub fn miss_ratio(&self) -> Ratio {
+        Ratio::of(self.misses.get(), self.accesses.get())
+    }
+}
+
+/// Coherence event counters (SMP models).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoherenceStats {
+    /// Cache-to-cache move-out transfers received by this CPU.
+    pub move_outs_in: Counter,
+    /// Move-out transfers this CPU supplied to others.
+    pub move_outs_out: Counter,
+    /// Invalidations this CPU's stores caused in other caches.
+    pub invalidations_caused: Counter,
+    /// Ownership upgrades (S→M) this CPU's stores required.
+    pub upgrades: Counter,
+}
+
+/// Per-CPU memory-system statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// L1 instruction cache.
+    pub l1i: CacheStats,
+    /// L1 operand cache, all requests.
+    pub l1d: CacheStats,
+    /// L1 operand cache, loads only.
+    pub l1d_loads: CacheStats,
+    /// L1 operand cache, stores only.
+    pub l1d_stores: CacheStats,
+    /// L2, all requests including prefetches.
+    pub l2_all: CacheStats,
+    /// L2, demand requests only.
+    pub l2_demand: CacheStats,
+    /// Instruction TLB.
+    pub itlb: CacheStats,
+    /// Data TLB.
+    pub dtlb: CacheStats,
+    /// Prefetch requests issued to the L2.
+    pub prefetch_issued: Counter,
+    /// Demand L2 accesses that hit a line brought in by a prefetch.
+    pub prefetch_useful: Counter,
+    /// Dirty L2 evictions written back to memory.
+    pub writebacks: Counter,
+    /// Coherence events.
+    pub coherence: CoherenceStats,
+    /// Load-to-data latency distribution (cycles from issue to data),
+    /// capturing the memory-level parallelism picture the §2.1 model
+    /// cares about. Lazily sized on first record.
+    pub load_latency: Option<Histogram>,
+}
+
+/// Upper bucket bound of the load-latency histogram (cycles).
+pub const LOAD_LATENCY_BUCKETS: u64 = 512;
+
+impl MemStats {
+    /// Fraction of issued prefetches that were later demanded (0..=1).
+    pub fn prefetch_accuracy(&self) -> Ratio {
+        Ratio::of(self.prefetch_useful.get(), self.prefetch_issued.get())
+    }
+
+    /// Records one load's issue-to-data latency.
+    pub fn record_load_latency(&mut self, cycles: u64) {
+        self.load_latency
+            .get_or_insert_with(|| Histogram::new(LOAD_LATENCY_BUCKETS))
+            .record(cycles);
+    }
+
+    /// Mean load-to-data latency in cycles (0 when no loads recorded).
+    pub fn mean_load_latency(&self) -> f64 {
+        self.load_latency.as_ref().map_or(0.0, Histogram::mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_tracks_hits_and_misses() {
+        let mut c = CacheStats::default();
+        c.record(true);
+        c.record(false);
+        c.record(false);
+        assert_eq!(c.accesses.get(), 3);
+        assert_eq!(c.misses.get(), 2);
+        assert!((c.miss_ratio().value() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefetch_accuracy_is_safe_when_disabled() {
+        let s = MemStats::default();
+        assert_eq!(s.prefetch_accuracy().value(), 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Instruction and data TLBs.
+//!
+//! The breakdown study (Fig 7) groups "ibs/tlb" stalls — L1 misses and TLB
+//! misses — so the model needs a TLB whose miss rate responds to workload
+//! footprint. We model a fully associative, true-LRU TLB with a fixed
+//! table-walk penalty; SPARC-V9's software-managed TSB walk is approximated
+//! by that fixed cost.
+
+use crate::addr::page_of;
+use std::collections::HashMap;
+
+/// A fully associative translation lookaside buffer with LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use s64v_mem::tlb::Tlb;
+///
+/// let mut tlb = Tlb::new(2);
+/// assert!(!tlb.access(0x0000));          // cold miss (page 0)
+/// assert!(tlb.access(0x1f00));           // same 8 KB page: hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    capacity: u32,
+    entries: HashMap<u64, u64>, // page -> last-used stamp
+    stamp: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0, "TLB needs at least one entry");
+        Tlb {
+            capacity,
+            entries: HashMap::new(),
+            stamp: 0,
+        }
+    }
+
+    /// Translates the page containing `addr`: returns `true` on a hit.
+    /// A miss installs the entry (the table walk always succeeds; the
+    /// walk's latency is charged by the caller).
+    pub fn access(&mut self, addr: u64) -> bool {
+        let page = page_of(addr);
+        self.stamp += 1;
+        if let Some(e) = self.entries.get_mut(&page) {
+            *e = self.stamp;
+            return true;
+        }
+        if self.entries.len() as u32 >= self.capacity {
+            let victim = *self
+                .entries
+                .iter()
+                .min_by_key(|(_, &stamp)| stamp)
+                .map(|(page, _)| page)
+                .expect("full TLB is non-empty");
+            self.entries.remove(&victim);
+        }
+        self.entries.insert(page, self.stamp);
+        false
+    }
+
+    /// Number of resident translations.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Drops every translation (context switch / trap handling studies).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGE_BYTES;
+
+    #[test]
+    fn hit_within_page_after_walk() {
+        let mut t = Tlb::new(4);
+        assert!(!t.access(100));
+        assert!(t.access(PAGE_BYTES - 1));
+        assert!(!t.access(PAGE_BYTES)); // next page
+    }
+
+    #[test]
+    fn lru_replacement() {
+        let mut t = Tlb::new(2);
+        t.access(0);
+        t.access(PAGE_BYTES);
+        t.access(0); // page 0 is MRU
+        t.access(2 * PAGE_BYTES); // evicts page 1
+        assert!(t.access(0));
+        assert!(!t.access(PAGE_BYTES), "page 1 must have been evicted");
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut t = Tlb::new(3);
+        for p in 0..10 {
+            t.access(p * PAGE_BYTES);
+            assert!(t.occupancy() <= 3);
+        }
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut t = Tlb::new(4);
+        t.access(0);
+        t.flush();
+        assert_eq!(t.occupancy(), 0);
+        assert!(!t.access(0));
+    }
+}

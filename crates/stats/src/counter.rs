@@ -1,0 +1,96 @@
+//! Monotonic event counters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::AddAssign;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use s64v_stats::Counter;
+///
+/// let mut retired = Counter::new();
+/// retired.incr();
+/// retired.add(3);
+/// assert_eq!(retired.get(), 4);
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n` events.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero (used when discarding a warm-up interval).
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+impl AddAssign<u64> for Counter {
+    fn add_assign(&mut self, rhs: u64) {
+        self.add(rhs);
+    }
+}
+
+impl From<Counter> for u64 {
+    fn from(c: Counter) -> u64 {
+        c.get()
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_events() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c += 5;
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = Counter::new();
+        c.add(10);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn display_is_plain_number() {
+        let mut c = Counter::new();
+        c.add(42);
+        assert_eq!(c.to_string(), "42");
+    }
+}

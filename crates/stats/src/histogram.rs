@@ -1,0 +1,160 @@
+//! Bounded integer histograms for occupancies and latencies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A histogram over `0..=max` with an overflow bucket.
+///
+/// Used for queue occupancies (load queue, store queue, reservation
+/// stations, bus request queues) and memory latencies.
+///
+/// # Examples
+///
+/// ```
+/// use s64v_stats::Histogram;
+///
+/// let mut occupancy = Histogram::new(16);
+/// occupancy.record(3);
+/// occupancy.record(3);
+/// occupancy.record(16);
+/// assert_eq!(occupancy.count(3), 2);
+/// assert_eq!(occupancy.total(), 3);
+/// assert!((occupancy.mean() - (3.0 + 3.0 + 16.0) / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    overflow: u64,
+    sum: u64,
+    total: u64,
+    max_seen: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with buckets `0..=max`.
+    pub fn new(max: u64) -> Self {
+        Histogram {
+            buckets: vec![0; max as usize + 1],
+            overflow: 0,
+            sum: 0,
+            total: 0,
+            max_seen: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        match self.buckets.get_mut(value as usize) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+        self.sum += value;
+        self.total += 1;
+        self.max_seen = self.max_seen.max(value);
+    }
+
+    /// Number of samples equal to `value` (0 if out of bucket range).
+    pub fn count(&self, value: u64) -> u64 {
+        self.buckets.get(value as usize).copied().unwrap_or(0)
+    }
+
+    /// Samples that fell above the bucket range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all samples; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max_seen(&self) -> u64 {
+        self.max_seen
+    }
+
+    /// Smallest `v` such that at least `fraction` of samples are `<= v`.
+    ///
+    /// `fraction` is clamped to `[0, 1]`. Samples in the overflow bucket are
+    /// treated as `max + 1`. Returns 0 when empty.
+    pub fn quantile(&self, fraction: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((fraction.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (v, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return v as u64;
+            }
+        }
+        self.buckets.len() as u64
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "histogram(n={}, mean={:.2}, max={})",
+            self.total,
+            self.mean(),
+            self.max_seen
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut h = Histogram::new(4);
+        for v in [0, 1, 1, 2, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(3), 0);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn overflow_bucket() {
+        let mut h = Histogram::new(2);
+        h.record(10);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.max_seen(), 10);
+        // mean still uses the true value
+        assert!((h.mean() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = Histogram::new(10);
+        for v in 1..=10 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(1.0), 10);
+        assert_eq!(h.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new(4);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+}

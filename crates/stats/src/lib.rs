@@ -1,0 +1,37 @@
+//! Statistics toolkit shared by every component of the SPARC64 V
+//! performance model.
+//!
+//! The paper's model exposes roughly five hundred parameters and reports
+//! IPC, miss ratios, stall breakdowns and queue occupancies. This crate
+//! provides the small set of primitives those reports are built from:
+//!
+//! * [`Counter`] — a monotonically increasing event count,
+//! * [`Ratio`] — hits/accesses-style derived ratios,
+//! * [`Histogram`] — bounded integer histograms (queue occupancy, latency),
+//! * [`table::Table`] — plain-text report tables used by the experiment
+//!   harness to print the paper's figures as rows.
+//!
+//! # Examples
+//!
+//! ```
+//! use s64v_stats::{Counter, Ratio};
+//!
+//! let mut hits = Counter::new();
+//! let mut accesses = Counter::new();
+//! for _ in 0..8 {
+//!     accesses.incr();
+//! }
+//! hits.add(6);
+//! let hit_ratio = Ratio::of(hits.get(), accesses.get());
+//! assert!((hit_ratio.value() - 0.75).abs() < 1e-12);
+//! ```
+
+pub mod counter;
+pub mod histogram;
+pub mod ratio;
+pub mod table;
+
+pub use counter::Counter;
+pub use histogram::Histogram;
+pub use ratio::Ratio;
+pub use table::Table;

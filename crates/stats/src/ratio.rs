@@ -1,0 +1,124 @@
+//! Derived ratios (miss rates, IPC, utilization).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A numerator/denominator pair with safe division.
+///
+/// Keeping both parts (rather than a bare `f64`) lets reports show the raw
+/// event counts alongside the derived value, and lets ratios from sampled
+/// intervals be merged exactly.
+///
+/// # Examples
+///
+/// ```
+/// use s64v_stats::Ratio;
+///
+/// let miss = Ratio::of(25, 1000);
+/// assert!((miss.value() - 0.025).abs() < 1e-12);
+/// assert!((miss.percent() - 2.5).abs() < 1e-12);
+/// assert_eq!(Ratio::of(3, 0).value(), 0.0); // empty denominators are 0, not NaN
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ratio {
+    num: u64,
+    den: u64,
+}
+
+impl Ratio {
+    /// Creates a ratio `num / den`.
+    pub fn of(num: u64, den: u64) -> Self {
+        Ratio { num, den }
+    }
+
+    /// Numerator (event count).
+    pub fn numerator(self) -> u64 {
+        self.num
+    }
+
+    /// Denominator (opportunity count).
+    pub fn denominator(self) -> u64 {
+        self.den
+    }
+
+    /// The ratio as a fraction; `0.0` when the denominator is zero.
+    pub fn value(self) -> f64 {
+        if self.den == 0 {
+            0.0
+        } else {
+            self.num as f64 / self.den as f64
+        }
+    }
+
+    /// The ratio as a percentage.
+    pub fn percent(self) -> f64 {
+        self.value() * 100.0
+    }
+
+    /// Merges two ratios by summing parts (exact for sampled intervals).
+    pub fn merge(self, other: Ratio) -> Ratio {
+        Ratio {
+            num: self.num + other.num,
+            den: self.den + other.den,
+        }
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} = {:.4}", self.num, self.den, self.value())
+    }
+}
+
+/// Relative change of `new` versus `base`, in percent.
+///
+/// Matches the paper's convention: Figure 9's "-5.6 percent" is
+/// `relative_change_percent(new_ipc, base_ipc)`.
+///
+/// Returns `0.0` when `base` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let change = s64v_stats::ratio::relative_change_percent(0.944, 1.0);
+/// assert!((change + 5.6).abs() < 1e-9);
+/// ```
+pub fn relative_change_percent(new: f64, base: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (new - base) / base * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_denominator_is_zero() {
+        assert_eq!(Ratio::of(5, 0).value(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let a = Ratio::of(1, 4);
+        let b = Ratio::of(3, 4);
+        let m = a.merge(b);
+        assert_eq!(m.numerator(), 4);
+        assert_eq!(m.denominator(), 8);
+        assert!((m.value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_change_signs() {
+        assert!(relative_change_percent(1.1, 1.0) > 0.0);
+        assert!(relative_change_percent(0.9, 1.0) < 0.0);
+        assert_eq!(relative_change_percent(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn percent_scales_by_100() {
+        assert!((Ratio::of(1, 2).percent() - 50.0).abs() < 1e-12);
+    }
+}

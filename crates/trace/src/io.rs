@@ -1,0 +1,308 @@
+//! Streaming trace file I/O.
+//!
+//! [`crate::binary`] encodes whole traces in memory; real captures are
+//! larger than RAM, so this module adds incremental writing
+//! ([`TraceWriter`]) and incremental reading ([`TraceReader`]) of the same
+//! format over any `Write`/`Read`. The record count in the header is
+//! patched on [`TraceWriter::finish`] for seekable sinks and written as
+//! a placeholder (`u64::MAX`, "until EOF") otherwise.
+
+use crate::record::TraceRecord;
+use crate::stream::TraceStream;
+use bytes::{Buf, BufMut, BytesMut};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+
+const MAGIC: &[u8; 4] = b"S64V";
+const VERSION: u16 = 1;
+/// Header record-count value meaning "read until end of file".
+pub const COUNT_UNTIL_EOF: u64 = u64::MAX;
+
+/// Incremental writer for the binary trace format.
+///
+/// # Examples
+///
+/// ```
+/// use s64v_isa::Instr;
+/// use s64v_trace::io::{TraceReader, TraceWriter};
+/// use s64v_trace::{TraceRecord, TraceStream};
+/// use std::io::Cursor;
+///
+/// # fn main() -> std::io::Result<()> {
+/// let mut buf = Cursor::new(Vec::new());
+/// let mut w = TraceWriter::new(&mut buf)?;
+/// w.write(&TraceRecord::new(0x40, Instr::nop()))?;
+/// w.finish()?;
+///
+/// buf.set_position(0);
+/// let mut r = TraceReader::new(&mut buf)?;
+/// assert_eq!(r.next_record().unwrap().pc, 0x40);
+/// assert!(r.next_record().is_none());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    written: u64,
+    finished: bool,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Writes the header and returns the writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn new(mut sink: W) -> io::Result<Self> {
+        let mut header = BytesMut::with_capacity(16);
+        header.put_slice(MAGIC);
+        header.put_u16_le(VERSION);
+        header.put_u16_le(0);
+        header.put_u64_le(COUNT_UNTIL_EOF);
+        sink.write_all(&header)?;
+        Ok(TraceWriter {
+            sink,
+            written: 0,
+            finished: false,
+        })
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn write(&mut self, record: &TraceRecord) -> io::Result<()> {
+        debug_assert!(!self.finished, "writer already finished");
+        let mut buf = BytesMut::with_capacity(32);
+        crate::binary::encode_record_into(&mut buf, record);
+        self.sink.write_all(&buf)?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the sink. The header keeps the
+    /// "until EOF" count; use [`TraceWriter::finish`] on seekable sinks to
+    /// patch the real count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        self.finished = true;
+        Ok(self.sink)
+    }
+}
+
+impl<W: Write + Seek> TraceWriter<W> {
+    /// Flushes, patches the header's record count, and returns the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        let end = self.sink.stream_position()?;
+        self.sink.seek(SeekFrom::Start(8))?;
+        self.sink.write_all(&self.written.to_le_bytes())?;
+        self.sink.seek(SeekFrom::Start(end))?;
+        self.sink.flush()?;
+        self.finished = true;
+        Ok(self.sink)
+    }
+}
+
+/// Incremental reader: a [`TraceStream`] over any `Read`.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    source: R,
+    remaining: u64,
+    until_eof: bool,
+    errored: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Reads and validates the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for a bad magic or version, and propagates
+    /// I/O errors.
+    pub fn new(mut source: R) -> io::Result<Self> {
+        let mut header = [0u8; 16];
+        source.read_exact(&mut header)?;
+        let mut buf = &header[..];
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "missing S64V magic",
+            ));
+        }
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported trace version {version}"),
+            ));
+        }
+        let _reserved = buf.get_u16_le();
+        let count = buf.get_u64_le();
+        Ok(TraceReader {
+            source,
+            remaining: count,
+            until_eof: count == COUNT_UNTIL_EOF,
+            errored: false,
+        })
+    }
+
+    fn read_one(&mut self) -> io::Result<Option<TraceRecord>> {
+        // Fixed part: pc(8) op(1) dest(1) srcs(3) flags(1) = 14 bytes.
+        let mut fixed = [0u8; 14];
+        match self.source.read_exact(&mut fixed) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof && self.until_eof => {
+                return Ok(None)
+            }
+            Err(e) => return Err(e),
+        }
+        let flags = fixed[13];
+        let extra_words = (flags & 1 != 0) as usize + (flags & 2 != 0) as usize;
+        let mut extra = [0u8; 16];
+        self.source.read_exact(&mut extra[..extra_words * 8])?;
+
+        let mut full = Vec::with_capacity(14 + extra_words * 8);
+        full.extend_from_slice(&fixed);
+        full.extend_from_slice(&extra[..extra_words * 8]);
+        let mut slice = full.as_slice();
+        crate::binary::decode_record_from(&mut slice)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+impl<R: Read> TraceStream for TraceReader<R> {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        if self.errored || (!self.until_eof && self.remaining == 0) {
+            return None;
+        }
+        match self.read_one() {
+            Ok(Some(rec)) => {
+                if !self.until_eof {
+                    self.remaining -= 1;
+                }
+                Some(rec)
+            }
+            Ok(None) => None,
+            Err(_) => {
+                self.errored = true;
+                None
+            }
+        }
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        if self.until_eof {
+            None
+        } else {
+            Some(self.remaining)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use s64v_isa::{Instr, MemWidth, Reg};
+    use std::io::Cursor;
+
+    fn sample() -> Vec<TraceRecord> {
+        let mut b = TraceBuilder::new(0x1000);
+        b.push(Instr::nop());
+        b.push(Instr::load(Reg::int(1), Reg::int(2), 0xbeef, MemWidth::B8));
+        b.push(Instr::branch_cond(true, 0x2000));
+        b.push(Instr::special().kernel());
+        b.finish().into_records()
+    }
+
+    #[test]
+    fn seekable_round_trip_with_count() {
+        let records = sample();
+        let mut cursor = Cursor::new(Vec::new());
+        let mut w = TraceWriter::new(&mut cursor).unwrap();
+        for r in &records {
+            w.write(r).unwrap();
+        }
+        w.finish().unwrap();
+
+        cursor.set_position(0);
+        let mut r = TraceReader::new(&mut cursor).unwrap();
+        assert_eq!(r.remaining_hint(), Some(records.len() as u64));
+        let mut back = Vec::new();
+        while let Some(rec) = r.next_record() {
+            back.push(rec);
+        }
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn unseekable_round_trip_until_eof() {
+        let records = sample();
+        let mut sink: Vec<u8> = Vec::new();
+        {
+            let mut w = TraceWriter::new(&mut sink).unwrap();
+            for r in &records {
+                w.write(r).unwrap();
+            }
+            w.into_inner().unwrap();
+        }
+        let mut r = TraceReader::new(sink.as_slice()).unwrap();
+        assert_eq!(r.remaining_hint(), None, "no count: read until EOF");
+        let mut back = Vec::new();
+        while let Some(rec) = r.next_record() {
+            back.push(rec);
+        }
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn reader_rejects_bad_magic() {
+        let bytes = b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00".to_vec();
+        assert!(TraceReader::new(bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn reader_matches_in_memory_codec() {
+        let records = sample();
+        let trace = crate::stream::VecTrace::from_records(records.clone());
+        let encoded = crate::binary::encode(&trace);
+        let mut r = TraceReader::new(&encoded[..]).unwrap();
+        let mut back = Vec::new();
+        while let Some(rec) = r.next_record() {
+            back.push(rec);
+        }
+        assert_eq!(back, records, "io reader parses binary::encode output");
+    }
+
+    #[test]
+    fn truncated_payload_ends_stream() {
+        let records = sample();
+        let trace = crate::stream::VecTrace::from_records(records);
+        let encoded = crate::binary::encode(&trace);
+        let cut = &encoded[..encoded.len() - 5];
+        let mut r = TraceReader::new(cut).unwrap();
+        let mut n = 0;
+        while r.next_record().is_some() {
+            n += 1;
+        }
+        assert!(n < 4, "truncated trace must end early, got {n}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Trace sampling.
+//!
+//! The paper's TPC-C traces are *sampled* from a steady-state run (§2.2,
+//! §4.1): tracing starts only after the workload reaches steady state, and
+//! long captures are reduced to representative windows. This module
+//! provides the two corresponding operations: skipping a warm-up prefix and
+//! systematic interval sampling.
+
+use crate::record::TraceRecord;
+use crate::stream::TraceStream;
+
+/// Drops the first `warmup` records, then passes everything through.
+///
+/// Mirrors "we wait until it reaches a steady state, and then start trace".
+#[derive(Debug, Clone)]
+pub struct SkipWarmup<S> {
+    inner: S,
+    remaining_skip: u64,
+}
+
+impl<S: TraceStream> SkipWarmup<S> {
+    /// Wraps `inner`, discarding its first `warmup` records.
+    pub fn new(inner: S, warmup: u64) -> Self {
+        SkipWarmup {
+            inner,
+            remaining_skip: warmup,
+        }
+    }
+}
+
+impl<S: TraceStream> TraceStream for SkipWarmup<S> {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        while self.remaining_skip > 0 {
+            self.inner.next_record()?;
+            self.remaining_skip -= 1;
+        }
+        self.inner.next_record()
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        self.inner
+            .remaining_hint()
+            .map(|r| r.saturating_sub(self.remaining_skip))
+    }
+}
+
+/// Systematic interval sampler: from every `period` records, keep the first
+/// `window`.
+///
+/// With `window == period` this is the identity. Used to reduce long TPC-C
+/// captures while preserving phase structure.
+#[derive(Debug, Clone)]
+pub struct IntervalSample<S> {
+    inner: S,
+    window: u64,
+    period: u64,
+    pos_in_period: u64,
+}
+
+impl<S: TraceStream> IntervalSample<S> {
+    /// Creates a sampler keeping `window` of every `period` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `window > period`.
+    pub fn new(inner: S, window: u64, period: u64) -> Self {
+        assert!(window > 0, "sample window must be positive");
+        assert!(window <= period, "sample window must not exceed the period");
+        IntervalSample {
+            inner,
+            window,
+            period,
+            pos_in_period: 0,
+        }
+    }
+}
+
+impl<S: TraceStream> TraceStream for IntervalSample<S> {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        loop {
+            let r = self.inner.next_record()?;
+            let keep = self.pos_in_period < self.window;
+            self.pos_in_period = (self.pos_in_period + 1) % self.period;
+            if keep {
+                return Some(r);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::VecTrace;
+    use s64v_isa::Instr;
+
+    fn numbered(n: usize) -> VecTrace {
+        (0..n)
+            .map(|i| TraceRecord::new(i as u64, Instr::nop()))
+            .collect()
+    }
+
+    fn drain<S: TraceStream>(mut s: S) -> Vec<u64> {
+        let mut pcs = Vec::new();
+        while let Some(r) = s.next_record() {
+            pcs.push(r.pc);
+        }
+        pcs
+    }
+
+    #[test]
+    fn warmup_skips_prefix() {
+        let t = numbered(5);
+        let pcs = drain(SkipWarmup::new(t.stream(), 3));
+        assert_eq!(pcs, vec![3, 4]);
+    }
+
+    #[test]
+    fn warmup_longer_than_trace_yields_nothing() {
+        let t = numbered(2);
+        assert!(drain(SkipWarmup::new(t.stream(), 10)).is_empty());
+    }
+
+    #[test]
+    fn interval_sampling_keeps_windows() {
+        let t = numbered(10);
+        let pcs = drain(IntervalSample::new(t.stream(), 2, 5));
+        assert_eq!(pcs, vec![0, 1, 5, 6]);
+    }
+
+    #[test]
+    fn full_window_is_identity() {
+        let t = numbered(6);
+        let pcs = drain(IntervalSample::new(t.stream(), 3, 3));
+        assert_eq!(pcs, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn window_validated_against_period() {
+        let t = numbered(1);
+        let _ = IntervalSample::new(t.stream(), 5, 2);
+    }
+}

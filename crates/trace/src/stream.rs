@@ -1,0 +1,258 @@
+//! Streaming interface consumed by the simulator.
+//!
+//! The core model pulls records one at a time through [`TraceStream`]; this
+//! keeps memory bounded for long traces and lets workload generators feed
+//! the simulator *lazily* (a generated TPC-C trace never needs to be
+//! materialized unless it is being written to disk).
+
+use crate::record::TraceRecord;
+
+/// A source of trace records.
+///
+/// Implementors produce the committed-order dynamic instruction stream of
+/// one CPU. `next_record` returns `None` at end of trace.
+pub trait TraceStream {
+    /// Produces the next record, or `None` when the trace is exhausted.
+    fn next_record(&mut self) -> Option<TraceRecord>;
+
+    /// A hint of how many records remain (`None` if unknown/unbounded).
+    fn remaining_hint(&self) -> Option<u64> {
+        None
+    }
+
+    /// Adapts this stream to stop after `limit` records.
+    fn take_records(self, limit: u64) -> Take<Self>
+    where
+        Self: Sized,
+    {
+        Take {
+            inner: self,
+            remaining: limit,
+        }
+    }
+}
+
+/// Stream adaptor returned by [`TraceStream::take_records`].
+#[derive(Debug, Clone)]
+pub struct Take<S> {
+    inner: S,
+    remaining: u64,
+}
+
+impl<S: TraceStream> TraceStream for Take<S> {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let r = self.inner.next_record()?;
+        self.remaining -= 1;
+        Some(r)
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        match self.inner.remaining_hint() {
+            Some(inner) => Some(inner.min(self.remaining)),
+            None => Some(self.remaining),
+        }
+    }
+}
+
+/// An owned, fully materialized trace.
+///
+/// # Examples
+///
+/// ```
+/// use s64v_isa::Instr;
+/// use s64v_trace::{TraceRecord, TraceStream, VecTrace};
+///
+/// let trace = VecTrace::from_records(vec![TraceRecord::new(0, Instr::nop())]);
+/// let mut s = trace.stream();
+/// assert!(s.next_record().is_some());
+/// assert!(s.next_record().is_none());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VecTrace {
+    records: Vec<TraceRecord>,
+}
+
+impl VecTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        VecTrace::default()
+    }
+
+    /// Wraps a vector of records.
+    pub fn from_records(records: Vec<TraceRecord>) -> Self {
+        VecTrace { records }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records as a slice.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Consumes the trace, returning the records.
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        self.records
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    /// A borrowing stream over the records.
+    pub fn stream(&self) -> SliceStream<'_> {
+        SliceStream {
+            records: &self.records,
+            pos: 0,
+        }
+    }
+
+    /// Iterator over records.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceRecord> {
+        self.records.iter()
+    }
+}
+
+impl FromIterator<TraceRecord> for VecTrace {
+    fn from_iter<T: IntoIterator<Item = TraceRecord>>(iter: T) -> Self {
+        VecTrace {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<TraceRecord> for VecTrace {
+    fn extend<T: IntoIterator<Item = TraceRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+impl IntoIterator for VecTrace {
+    type Item = TraceRecord;
+    type IntoIter = std::vec::IntoIter<TraceRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a VecTrace {
+    type Item = &'a TraceRecord;
+    type IntoIter = std::slice::Iter<'a, TraceRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+/// Borrowing stream over a slice of records (see [`VecTrace::stream`]).
+#[derive(Debug, Clone)]
+pub struct SliceStream<'a> {
+    records: &'a [TraceRecord],
+    pos: usize,
+}
+
+impl<'a> SliceStream<'a> {
+    /// Creates a stream over a record slice.
+    pub fn new(records: &'a [TraceRecord]) -> Self {
+        SliceStream { records, pos: 0 }
+    }
+}
+
+impl TraceStream for SliceStream<'_> {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        let r = self.records.get(self.pos).copied()?;
+        self.pos += 1;
+        Some(r)
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        Some((self.records.len() - self.pos) as u64)
+    }
+}
+
+/// Adapts any iterator of records into a [`TraceStream`].
+#[derive(Debug, Clone)]
+pub struct IterStream<I> {
+    iter: I,
+}
+
+impl<I: Iterator<Item = TraceRecord>> IterStream<I> {
+    /// Wraps an iterator.
+    pub fn new(iter: I) -> Self {
+        IterStream { iter }
+    }
+}
+
+impl<I: Iterator<Item = TraceRecord>> TraceStream for IterStream<I> {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        self.iter.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s64v_isa::Instr;
+
+    fn nops(n: usize) -> VecTrace {
+        (0..n)
+            .map(|i| TraceRecord::new(i as u64 * 4, Instr::nop()))
+            .collect()
+    }
+
+    #[test]
+    fn slice_stream_yields_in_order_and_ends() {
+        let t = nops(3);
+        let mut s = t.stream();
+        assert_eq!(s.remaining_hint(), Some(3));
+        assert_eq!(s.next_record().unwrap().pc, 0);
+        assert_eq!(s.next_record().unwrap().pc, 4);
+        assert_eq!(s.next_record().unwrap().pc, 8);
+        assert!(s.next_record().is_none());
+        assert_eq!(s.remaining_hint(), Some(0));
+    }
+
+    #[test]
+    fn take_limits_records() {
+        let t = nops(10);
+        let mut s = t.stream().take_records(4);
+        assert_eq!(s.remaining_hint(), Some(4));
+        let mut n = 0;
+        while s.next_record().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn vec_trace_collects_and_extends() {
+        let mut t: VecTrace = nops(2).into_iter().collect();
+        t.extend(nops(3));
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn iter_stream_adapts_iterators() {
+        let recs: Vec<_> = nops(5).into_records();
+        let mut s = IterStream::new(recs.into_iter());
+        let mut n = 0;
+        while s.next_record().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 5);
+    }
+}

@@ -1,0 +1,327 @@
+//! Human-readable text trace format.
+//!
+//! One record per line, assembler-ish, round-trippable — the format used
+//! for golden files, hand-written regression cases and eyeballing dumps:
+//!
+//! ```text
+//! 0x1000 load %r5 <- %r2 [0xdead0/8]
+//! 0x1004 br-cond %cc T->0x2000
+//! 0x1008 int-alu %r3 <- %r1 %r2
+//! 0x100c special K
+//! ```
+//!
+//! Grammar per line: `PC OP [DEST <-] [SRC...] [\[ADDR/WIDTH\]]
+//! [T->TGT | N->TGT] [K]`, `#`-prefixed lines are comments.
+
+use crate::record::TraceRecord;
+use crate::stream::VecTrace;
+use s64v_isa::{BranchInfo, Instr, MemInfo, MemWidth, OpClass, Privilege, Reg};
+use std::error::Error;
+use std::fmt;
+
+/// Error parsing a text trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseTraceError {}
+
+/// Renders a trace in the text format.
+pub fn to_text(trace: &VecTrace) -> String {
+    let mut out = String::new();
+    for rec in trace.records() {
+        render_record(&mut out, rec);
+        out.push('\n');
+    }
+    out
+}
+
+fn render_record(out: &mut String, rec: &TraceRecord) {
+    use fmt::Write;
+    let i = &rec.instr;
+    write!(out, "{:#x} {}", rec.pc, i.op).expect("string write");
+    if let Some(d) = i.dest {
+        write!(out, " {d} <-").expect("string write");
+    }
+    for s in i.srcs.iter().flatten() {
+        write!(out, " {s}").expect("string write");
+    }
+    if let Some(m) = i.mem {
+        write!(out, " [{:#x}/{}]", m.addr, m.width.bytes()).expect("string write");
+    }
+    if let Some(b) = i.branch {
+        write!(out, " {}->{:#x}", if b.taken { "T" } else { "N" }, b.target).expect("string write");
+    }
+    if i.privilege == Privilege::Kernel {
+        out.push_str(" K");
+    }
+}
+
+fn op_from_name(name: &str) -> Option<OpClass> {
+    Some(match name {
+        "int-alu" => OpClass::IntAlu,
+        "int-mul" => OpClass::IntMul,
+        "int-div" => OpClass::IntDiv,
+        "fp-add" => OpClass::FpAdd,
+        "fp-mul" => OpClass::FpMul,
+        "fp-fma" => OpClass::FpMulAdd,
+        "fp-div" => OpClass::FpDiv,
+        "load" => OpClass::Load,
+        "store" => OpClass::Store,
+        "br-cond" => OpClass::BranchCond,
+        "br-uncond" => OpClass::BranchUncond,
+        "nop" => OpClass::Nop,
+        "special" => OpClass::Special,
+        _ => return None,
+    })
+}
+
+fn parse_u64(tok: &str) -> Option<u64> {
+    if let Some(hex) = tok.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        tok.parse().ok()
+    }
+}
+
+fn parse_reg(tok: &str) -> Option<Reg> {
+    if tok == "%cc" {
+        return Some(Reg::cc());
+    }
+    if let Some(n) = tok.strip_prefix("%r") {
+        return n
+            .parse()
+            .ok()
+            .filter(|&i| i < s64v_isa::NUM_INT_REGS)
+            .map(Reg::int);
+    }
+    if let Some(n) = tok.strip_prefix("%f") {
+        return n
+            .parse()
+            .ok()
+            .filter(|&i| i < s64v_isa::NUM_FP_REGS)
+            .map(Reg::fp);
+    }
+    None
+}
+
+fn parse_width(n: u64) -> Option<MemWidth> {
+    Some(match n {
+        1 => MemWidth::B1,
+        2 => MemWidth::B2,
+        4 => MemWidth::B4,
+        8 => MemWidth::B8,
+        _ => return None,
+    })
+}
+
+/// Parses a text trace.
+///
+/// # Errors
+///
+/// Returns the first offending line with a description.
+pub fn parse_text(text: &str) -> Result<VecTrace, ParseTraceError> {
+    let mut trace = VecTrace::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        trace.push(parse_line(line).map_err(|message| ParseTraceError {
+            line: line_no,
+            message,
+        })?);
+    }
+    Ok(trace)
+}
+
+fn parse_line(line: &str) -> Result<TraceRecord, String> {
+    let mut toks = line.split_whitespace().peekable();
+    let pc = toks
+        .next()
+        .and_then(parse_u64)
+        .ok_or_else(|| "expected a pc".to_string())?;
+    let op_name = toks.next().ok_or_else(|| "expected an op".to_string())?;
+    let op = op_from_name(op_name).ok_or_else(|| format!("unknown op `{op_name}`"))?;
+
+    let mut instr = Instr::nop();
+    instr.op = op;
+    instr.dest = None;
+    instr.srcs = [None; 3];
+
+    // Optional `DEST <-`.
+    let mut pending: Vec<String> = Vec::new();
+    let mut srcs: Vec<Reg> = Vec::new();
+    let mut kernel = false;
+    while let Some(tok) = toks.next() {
+        if tok == "<-" {
+            let dest_tok = pending
+                .pop()
+                .ok_or_else(|| "`<-` without a destination".to_string())?;
+            if !pending.is_empty() {
+                return Err("tokens before the destination".into());
+            }
+            instr.dest =
+                Some(parse_reg(&dest_tok).ok_or_else(|| format!("bad register `{dest_tok}`"))?);
+            continue;
+        }
+        if tok == "K" {
+            kernel = true;
+            continue;
+        }
+        if let Some(body) = tok.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
+            let (addr_s, width_s) = body
+                .split_once('/')
+                .ok_or_else(|| format!("bad memory operand `{tok}`"))?;
+            let addr = parse_u64(addr_s).ok_or_else(|| format!("bad address `{addr_s}`"))?;
+            let width = parse_u64(width_s)
+                .and_then(parse_width)
+                .ok_or_else(|| format!("bad width `{width_s}`"))?;
+            instr.mem = Some(MemInfo { addr, width });
+            continue;
+        }
+        if let Some(rest) = tok.strip_prefix("T->") {
+            let target = parse_u64(rest).ok_or_else(|| format!("bad target `{rest}`"))?;
+            instr.branch = Some(BranchInfo {
+                taken: true,
+                target,
+            });
+            continue;
+        }
+        if let Some(rest) = tok.strip_prefix("N->") {
+            let target = parse_u64(rest).ok_or_else(|| format!("bad target `{rest}`"))?;
+            instr.branch = Some(BranchInfo {
+                taken: false,
+                target,
+            });
+            continue;
+        }
+        if tok.starts_with('%') {
+            // Could be a source, or a destination awaiting `<-`.
+            if let Some(peek) = toks.peek() {
+                if *peek == "<-" {
+                    pending.push(tok.to_string());
+                    continue;
+                }
+            }
+            srcs.push(parse_reg(tok).ok_or_else(|| format!("bad register `{tok}`"))?);
+            continue;
+        }
+        return Err(format!("unexpected token `{tok}`"));
+    }
+    if !pending.is_empty() {
+        return Err("dangling destination without `<-`".into());
+    }
+    if srcs.len() > 3 {
+        return Err(format!("too many sources ({})", srcs.len()));
+    }
+    for (slot, src) in instr.srcs.iter_mut().zip(&srcs) {
+        *slot = Some(*src);
+    }
+    if instr.mem.is_some() != op.is_mem() {
+        return Err("memory operand does not match the op class".into());
+    }
+    if instr.branch.is_some() != op.is_branch() {
+        return Err("branch operand does not match the op class".into());
+    }
+    if kernel {
+        instr.privilege = Privilege::Kernel;
+    }
+    Ok(TraceRecord::new(pc, instr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+
+    fn sample() -> VecTrace {
+        let mut b = TraceBuilder::new(0x1000);
+        b.push(Instr::load(Reg::int(5), Reg::int(2), 0xdead0, MemWidth::B8));
+        b.push(Instr::branch_cond(true, 0x2000));
+        b.push(Instr::alu(
+            OpClass::IntAlu,
+            Reg::int(3),
+            &[Reg::int(1), Reg::int(2)],
+        ));
+        b.push(Instr::special().kernel());
+        b.push(Instr::store(
+            Reg::int(3),
+            Reg::int(2),
+            0xbeef8,
+            MemWidth::B4,
+        ));
+        b.push(Instr::alu(
+            OpClass::FpMulAdd,
+            Reg::fp(1),
+            &[Reg::fp(2), Reg::fp(3), Reg::fp(4)],
+        ));
+        b.finish()
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let t = sample();
+        let text = to_text(&t);
+        let back = parse_text(&text).expect("parses");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# header\n\n0x10 nop\n  # indented comment\n0x14 nop\n";
+        let t = parse_text(text).expect("parses");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.records()[1].pc, 0x14);
+    }
+
+    #[test]
+    fn hand_written_lines_parse() {
+        let text = "0x1000 load %r5 <- %r2 [0xdead0/8]\n0x1004 br-cond %cc N->0x2000 K\n";
+        let t = parse_text(text).expect("parses");
+        assert_eq!(t.records()[0].instr.dest, Some(Reg::int(5)));
+        let br = &t.records()[1].instr;
+        assert!(!br.branch.expect("branch").taken);
+        assert_eq!(br.privilege, Privilege::Kernel);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_text("0x10 nop\n0x14 bogus-op\n").expect_err("must fail");
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus-op"));
+    }
+
+    #[test]
+    fn mismatched_operands_are_rejected() {
+        assert!(
+            parse_text("0x10 load %r1 <- %r2").is_err(),
+            "load needs memory"
+        );
+        assert!(
+            parse_text("0x10 nop [0x100/8]").is_err(),
+            "nop cannot have memory"
+        );
+        assert!(
+            parse_text("0x10 int-alu %r1 <- T->0x40").is_err(),
+            "alu cannot branch"
+        );
+    }
+
+    #[test]
+    fn bad_registers_are_rejected() {
+        assert!(parse_text("0x10 int-alu %r99 <- %r1").is_err());
+        assert!(parse_text("0x10 int-alu %x1 <- %r1").is_err());
+    }
+}

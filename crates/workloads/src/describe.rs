@@ -1,0 +1,133 @@
+//! Human-readable workload descriptions.
+//!
+//! The paper's §4.1 describes each workload's provenance; here every
+//! preset carries its calibrated parameters, and this module renders them
+//! as tables so EXPERIMENTS readers (and anyone re-calibrating) can see
+//! exactly what each suite's traces look like without reading the source.
+
+use crate::program::Program;
+use crate::regions::RegionKind;
+use crate::suite::{Suite, SuiteKind};
+use s64v_stats::Table;
+
+/// One row per program: the code-structure parameters.
+pub fn code_table(suite: &Suite) -> Table {
+    let mut t = Table::with_headers(&[
+        "program",
+        "blocks",
+        "hot",
+        "block len",
+        "loop iters",
+        "predictable",
+        "kernel %",
+    ]);
+    for p in suite.programs() {
+        let s = p.spec();
+        t.row(vec![
+            p.name().to_string(),
+            s.code.blocks.to_string(),
+            s.code.hot_blocks.to_string(),
+            format!("{}-{}", s.code.block_len_min, s.code.block_len_max),
+            format!("{}-{}", s.code.loop_iters_min, s.code.loop_iters_max),
+            format!("{:.2}", s.code.predictable_fraction),
+            format!("{:.0}", s.kernel_fraction * 100.0),
+        ]);
+    }
+    t
+}
+
+/// One row per data region of one program.
+pub fn data_table(program: &Program) -> Table {
+    let mut t = Table::with_headers(&["region", "size", "weight", "pattern"]);
+    let mut describe = |label: &str, regions: &[crate::regions::Region]| {
+        for (i, r) in regions.iter().enumerate() {
+            let pattern = match r.kind {
+                RegionKind::Uniform => {
+                    if r.shared {
+                        "uniform, shared".to_string()
+                    } else {
+                        "uniform".to_string()
+                    }
+                }
+                RegionKind::Stream { stride, cursors } => {
+                    format!("stream ×{cursors}, stride {stride} B")
+                }
+            };
+            t.row(vec![
+                format!("{label}[{i}]"),
+                human_bytes(r.bytes),
+                format!("{:.3}", r.weight),
+                pattern,
+            ]);
+        }
+    };
+    describe("user", &program.spec().data.regions);
+    if let Some(kd) = &program.spec().kernel_data {
+        describe("kernel", &kd.regions);
+    }
+    t
+}
+
+fn human_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1} MB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{} KB", b >> 10)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Renders every suite's code table plus the TPC-C data layout.
+pub fn full_report() -> String {
+    let mut out = String::new();
+    for kind in SuiteKind::ALL {
+        let suite = Suite::preset(kind);
+        out.push_str(&format!("== {} ==\n{}", kind.label(), code_table(&suite)));
+        out.push('\n');
+    }
+    let tpcc = Suite::preset(SuiteKind::Tpcc);
+    out.push_str(&format!(
+        "== TPC-C data regions ==\n{}",
+        data_table(&tpcc.programs()[0])
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_tables_cover_every_program() {
+        for kind in SuiteKind::ALL {
+            let suite = Suite::preset(kind);
+            let t = code_table(&suite);
+            assert_eq!(t.len(), suite.programs().len(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn tpcc_data_table_includes_kernel_and_shared() {
+        let suite = Suite::preset(SuiteKind::Tpcc);
+        let t = data_table(&suite.programs()[0]).to_string();
+        assert!(t.contains("kernel[0]"));
+        assert!(t.contains("shared"));
+        assert!(t.contains("stream"));
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(24 * 1024), "24 KB");
+        assert_eq!(human_bytes(3 << 20), "3.0 MB");
+    }
+
+    #[test]
+    fn full_report_mentions_every_suite() {
+        let r = full_report();
+        for kind in SuiteKind::ALL {
+            assert!(r.contains(kind.label()), "{kind} missing from report");
+        }
+    }
+}

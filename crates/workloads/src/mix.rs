@@ -1,0 +1,217 @@
+//! Instruction mixes.
+//!
+//! The mix covers the non-branch instruction classes; branches are emitted
+//! by the code-structure model ([`crate::codegen`]), whose block lengths
+//! set the branch density.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use s64v_isa::OpClass;
+use serde::{Deserialize, Serialize};
+
+/// Relative weights of the non-branch instruction classes.
+///
+/// Weights need not sum to one — they are normalized when sampling.
+///
+/// # Examples
+///
+/// ```
+/// use s64v_workloads::InstrMix;
+///
+/// let mix = InstrMix::spec_int();
+/// assert!(mix.mem_fraction() > 0.2);
+/// assert_eq!(InstrMix::spec_fp().fp_weight() > 0.0, true);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstrMix {
+    /// Integer ALU weight.
+    pub int_alu: f64,
+    /// Integer multiply weight.
+    pub int_mul: f64,
+    /// Integer divide weight.
+    pub int_div: f64,
+    /// FP add weight.
+    pub fp_add: f64,
+    /// FP multiply weight.
+    pub fp_mul: f64,
+    /// FP fused multiply-add weight.
+    pub fp_mul_add: f64,
+    /// FP divide weight.
+    pub fp_div: f64,
+    /// Load weight.
+    pub load: f64,
+    /// Store weight.
+    pub store: f64,
+    /// No-op weight.
+    pub nop: f64,
+    /// Special-instruction weight (save/restore, membar, privileged ops).
+    pub special: f64,
+}
+
+impl InstrMix {
+    /// A SPECint-like mix: ALU heavy, no FP, plenty of memory traffic.
+    pub fn spec_int() -> Self {
+        InstrMix {
+            int_alu: 0.47,
+            int_mul: 0.01,
+            int_div: 0.002,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_mul_add: 0.0,
+            fp_div: 0.0,
+            load: 0.25,
+            store: 0.11,
+            nop: 0.02,
+            special: 0.006,
+        }
+    }
+
+    /// A SPECfp-like mix: FP multiply-add dominated with streaming loads.
+    pub fn spec_fp() -> Self {
+        InstrMix {
+            int_alu: 0.18,
+            int_mul: 0.005,
+            int_div: 0.0,
+            fp_add: 0.13,
+            fp_mul: 0.10,
+            fp_mul_add: 0.16,
+            fp_div: 0.008,
+            load: 0.26,
+            store: 0.11,
+            nop: 0.01,
+            special: 0.002,
+        }
+    }
+
+    /// A TPC-C-like mix: pointer-chasing integer code with a high memory
+    /// request rate and visible special-instruction traffic (register
+    /// windows, atomics, privileged ops).
+    pub fn tpcc() -> Self {
+        InstrMix {
+            int_alu: 0.42,
+            int_mul: 0.004,
+            int_div: 0.001,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_mul_add: 0.0,
+            fp_div: 0.0,
+            load: 0.27,
+            store: 0.13,
+            nop: 0.015,
+            special: 0.012,
+        }
+    }
+
+    fn weights(&self) -> [(OpClass, f64); 11] {
+        [
+            (OpClass::IntAlu, self.int_alu),
+            (OpClass::IntMul, self.int_mul),
+            (OpClass::IntDiv, self.int_div),
+            (OpClass::FpAdd, self.fp_add),
+            (OpClass::FpMul, self.fp_mul),
+            (OpClass::FpMulAdd, self.fp_mul_add),
+            (OpClass::FpDiv, self.fp_div),
+            (OpClass::Load, self.load),
+            (OpClass::Store, self.store),
+            (OpClass::Nop, self.nop),
+            (OpClass::Special, self.special),
+        ]
+    }
+
+    /// Sum of all weights.
+    pub fn total_weight(&self) -> f64 {
+        self.weights().iter().map(|(_, w)| w).sum()
+    }
+
+    /// Fraction of sampled instructions that touch memory.
+    pub fn mem_fraction(&self) -> f64 {
+        (self.load + self.store) / self.total_weight()
+    }
+
+    /// Combined FP weight (normalized).
+    pub fn fp_weight(&self) -> f64 {
+        (self.fp_add + self.fp_mul + self.fp_mul_add + self.fp_div) / self.total_weight()
+    }
+
+    /// Samples one op class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero.
+    pub fn sample(&self, rng: &mut StdRng) -> OpClass {
+        let total = self.total_weight();
+        assert!(total > 0.0, "instruction mix has no weight");
+        let mut x = rng.gen_range(0.0..total);
+        for (op, w) in self.weights() {
+            if x < w {
+                return op;
+            }
+            x -= w;
+        }
+        OpClass::IntAlu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sample_histogram(mix: &InstrMix, n: usize) -> std::collections::HashMap<OpClass, usize> {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut h = std::collections::HashMap::new();
+        for _ in 0..n {
+            *h.entry(mix.sample(&mut rng)).or_insert(0) += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn sampling_tracks_weights() {
+        let mix = InstrMix::spec_int();
+        let h = sample_histogram(&mix, 100_000);
+        let loads = h[&OpClass::Load] as f64 / 100_000.0;
+        let expected = mix.load / mix.total_weight();
+        assert!(
+            (loads - expected).abs() < 0.01,
+            "load {loads} vs expected {expected}"
+        );
+        assert!(!h.contains_key(&OpClass::FpMulAdd), "int mix has no FP");
+    }
+
+    #[test]
+    fn fp_mix_is_fp_heavy() {
+        let mix = InstrMix::spec_fp();
+        assert!(mix.fp_weight() > 0.3);
+        let h = sample_histogram(&mix, 50_000);
+        assert!(h[&OpClass::FpMulAdd] > h[&OpClass::FpDiv]);
+    }
+
+    #[test]
+    fn tpcc_mix_has_specials_and_memory() {
+        let mix = InstrMix::tpcc();
+        assert!(mix.mem_fraction() > 0.35);
+        let h = sample_histogram(&mix, 100_000);
+        assert!(h[&OpClass::Special] > 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "no weight")]
+    fn zero_mix_panics() {
+        let mix = InstrMix {
+            int_alu: 0.0,
+            int_mul: 0.0,
+            int_div: 0.0,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_mul_add: 0.0,
+            fp_div: 0.0,
+            load: 0.0,
+            store: 0.0,
+            nop: 0.0,
+            special: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        mix.sample(&mut rng);
+    }
+}

@@ -1,0 +1,381 @@
+//! The reverse-tracer analogue.
+//!
+//! The paper's methodology (§2.2) relies on "Reverse Tracer" (the paper's reference 11): a tool
+//! that turns captured instruction traces into compact, self-contained
+//! performance test programs whose execution replays the original trace's
+//! performance behaviour. This module is the equivalent loop for this
+//! reproduction: [`profile`] measures a trace's behavioural profile,
+//! [`synthesize`] turns a profile back into a [`ProgramSpec`], and the
+//! regenerated program can be validated by profiling it again — the
+//! round trip that keeps generators and measurements honest.
+
+use crate::codegen::CodeSpec;
+use crate::mix::InstrMix;
+use crate::program::ProgramSpec;
+use crate::regions::{DataSpec, Region};
+use s64v_isa::OpClass;
+use s64v_trace::TraceStream;
+use std::collections::HashMap;
+
+/// A behavioural profile measured from a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceProfile {
+    /// Instructions profiled.
+    pub instructions: u64,
+    /// Fraction of each non-branch op class (same order as the mix).
+    pub mix: InstrMix,
+    /// Mean block length (instructions between conditional branches).
+    pub block_len: f64,
+    /// Distinct conditional branch sites.
+    pub branch_sites: u64,
+    /// Fraction of sites whose direction is strongly biased (≥ 80/20).
+    pub predictable_sites: f64,
+    /// Mean taken probability of the strongly biased sites.
+    pub easy_bias: f64,
+    /// Mean taken probability magnitude of the weakly biased sites.
+    pub hard_bias: f64,
+    /// Kernel-mode fraction.
+    pub kernel_fraction: f64,
+    /// Detected data regions (clustered by address).
+    pub regions: Vec<RegionProfile>,
+}
+
+/// One detected data region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionProfile {
+    /// Lowest address observed in the cluster.
+    pub base: u64,
+    /// Cluster span in bytes.
+    pub bytes: u64,
+    /// Fraction of memory accesses landing in the cluster.
+    pub weight: f64,
+    /// Fraction of consecutive same-cluster accesses with a constant
+    /// small positive delta — high values mean a strided stream.
+    pub sequential_fraction: f64,
+}
+
+/// Minimum address gap that separates two clusters (our generators place
+/// regions far apart; real segments similarly).
+const CLUSTER_GAP: u64 = 1 << 24;
+
+/// Measures a trace's behavioural profile.
+pub fn profile<S: TraceStream>(mut stream: S) -> TraceProfile {
+    let mut n = 0u64;
+    let mut per_class: HashMap<OpClass, u64> = HashMap::new();
+    let mut kernel = 0u64;
+    let mut site_stats: HashMap<u64, (u64, u64)> = HashMap::new(); // pc -> (execs, taken)
+    let mut data_addrs: Vec<u64> = Vec::new();
+
+    while let Some(rec) = stream.next_record() {
+        n += 1;
+        *per_class.entry(rec.instr.op).or_insert(0) += 1;
+        if rec.instr.privilege == s64v_isa::Privilege::Kernel {
+            kernel += 1;
+        }
+        if rec.instr.op == OpClass::BranchCond {
+            let e = site_stats.entry(rec.pc).or_insert((0, 0));
+            e.0 += 1;
+            if rec.instr.branch.is_some_and(|b| b.taken) {
+                e.1 += 1;
+            }
+        }
+        if let Some(m) = rec.instr.mem {
+            data_addrs.push(m.addr);
+        }
+    }
+
+    let frac = |op: OpClass| *per_class.get(&op).unwrap_or(&0) as f64 / n.max(1) as f64;
+    let cond = frac(OpClass::BranchCond);
+    let block_len = if cond > 0.0 { (1.0 / cond) - 1.0 } else { 32.0 };
+
+    // Site bias classification (sites with enough executions to judge).
+    let mut predictable = 0u64;
+    let mut judged = 0u64;
+    let mut easy_sum = 0.0;
+    let mut easy_n = 0u64;
+    let mut hard_sum = 0.0;
+    let mut hard_n = 0u64;
+    for &(execs, taken) in site_stats.values() {
+        if execs < 4 {
+            continue;
+        }
+        judged += 1;
+        let p = taken as f64 / execs as f64;
+        let magnitude = p.max(1.0 - p);
+        if magnitude >= 0.8 {
+            predictable += 1;
+            easy_sum += magnitude;
+            easy_n += 1;
+        } else {
+            hard_sum += magnitude;
+            hard_n += 1;
+        }
+    }
+
+    TraceProfile {
+        instructions: n,
+        mix: InstrMix {
+            int_alu: frac(OpClass::IntAlu),
+            int_mul: frac(OpClass::IntMul),
+            int_div: frac(OpClass::IntDiv),
+            fp_add: frac(OpClass::FpAdd),
+            fp_mul: frac(OpClass::FpMul),
+            fp_mul_add: frac(OpClass::FpMulAdd),
+            fp_div: frac(OpClass::FpDiv),
+            load: frac(OpClass::Load),
+            store: frac(OpClass::Store),
+            nop: frac(OpClass::Nop),
+            special: frac(OpClass::Special),
+        },
+        block_len,
+        branch_sites: site_stats.len() as u64,
+        predictable_sites: if judged > 0 {
+            predictable as f64 / judged as f64
+        } else {
+            1.0
+        },
+        easy_bias: if easy_n > 0 {
+            easy_sum / easy_n as f64
+        } else {
+            0.95
+        },
+        hard_bias: if hard_n > 0 {
+            hard_sum / hard_n as f64
+        } else {
+            0.65
+        },
+        kernel_fraction: kernel as f64 / n.max(1) as f64,
+        regions: cluster_regions(&data_addrs),
+    }
+}
+
+fn cluster_regions(addrs: &[u64]) -> Vec<RegionProfile> {
+    if addrs.is_empty() {
+        return Vec::new();
+    }
+    // Assign each access to a cluster by address; sequentiality is
+    // measured over per-cluster access order.
+    let total = addrs.len() as f64;
+    let mut sorted: Vec<u64> = addrs.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+
+    // Cluster boundaries on gaps.
+    let mut bounds: Vec<(u64, u64)> = Vec::new();
+    let mut start = sorted[0];
+    let mut prev = sorted[0];
+    for &a in &sorted[1..] {
+        if a - prev > CLUSTER_GAP {
+            bounds.push((start, prev));
+            start = a;
+        }
+        prev = a;
+    }
+    bounds.push((start, prev));
+
+    let cluster_of = |addr: u64| -> usize {
+        bounds
+            .partition_point(|&(s, _)| s <= addr)
+            .saturating_sub(1)
+    };
+
+    // Several cursors may interleave within one stream region, so
+    // sequentiality checks the new address against a small window of
+    // recent same-cluster addresses rather than only the previous one.
+    let mut counts = vec![0u64; bounds.len()];
+    let mut seq = vec![0u64; bounds.len()];
+    let mut steps = vec![0u64; bounds.len()];
+    let mut recent: Vec<Vec<u64>> = vec![Vec::new(); bounds.len()];
+    for &a in addrs.iter() {
+        let c = cluster_of(a);
+        counts[c] += 1;
+        if !recent[c].is_empty() {
+            steps[c] += 1;
+            let sequential = recent[c].iter().any(|&prev| {
+                let delta = a as i64 - prev as i64;
+                delta > 0 && delta <= 512
+            });
+            if sequential {
+                seq[c] += 1;
+            }
+        }
+        let window = &mut recent[c];
+        window.push(a);
+        if window.len() > 8 {
+            window.remove(0);
+        }
+    }
+
+    bounds
+        .iter()
+        .zip(counts.iter().zip(seq.iter().zip(&steps)))
+        .map(|(&(base, end), (&count, (&s, &st)))| RegionProfile {
+            base,
+            bytes: (end - base + 64).max(64),
+            weight: count as f64 / total,
+            sequential_fraction: if st > 0 { s as f64 / st as f64 } else { 0.0 },
+        })
+        .collect()
+}
+
+/// A region is treated as a stream when most same-region deltas are small
+/// positive constants.
+const STREAM_THRESHOLD: f64 = 0.7;
+
+/// Synthesizes a compact program spec reproducing a profile.
+///
+/// The result is a *performance test program* in the reverse-tracer sense:
+/// far smaller than the original trace, but matching its instruction mix,
+/// branch structure and memory-region behaviour, so the timing model
+/// treats it the same way.
+pub fn synthesize(name: &str, p: &TraceProfile) -> ProgramSpec {
+    let block_len = p.block_len.round().max(1.0) as u32;
+    let blocks = (p.branch_sites as u32).clamp(16, 200_000);
+    let code = CodeSpec {
+        base: 0x0001_0000,
+        blocks,
+        hot_blocks: (blocks / 3).max(8),
+        hot_weight: 0.9,
+        block_len_min: (block_len.saturating_sub(2)).max(1),
+        block_len_max: block_len + 2,
+        loop_blocks_min: 1,
+        loop_blocks_max: 4,
+        loop_iters_min: 2,
+        loop_iters_max: 10,
+        predictable_fraction: p.predictable_sites.clamp(0.0, 1.0),
+        easy_bias: p.easy_bias.clamp(0.55, 0.999),
+        hard_bias: p.hard_bias.clamp(0.5, 0.8),
+    };
+
+    let regions: Vec<Region> = p
+        .regions
+        .iter()
+        .filter(|r| r.weight > 0.001)
+        .map(|r| {
+            if r.sequential_fraction >= STREAM_THRESHOLD {
+                Region::stream(r.base, r.bytes.max(4096), r.weight, 64, 4)
+            } else {
+                Region::uniform(r.base, r.bytes.max(4096), r.weight)
+            }
+        })
+        .collect();
+    let data = if regions.is_empty() {
+        DataSpec::new(vec![Region::uniform(0x1000_0000, 64 * 1024, 1.0)])
+    } else {
+        DataSpec::new(regions)
+    };
+
+    // An empty profile (no instructions) yields a zero mix; fall back to
+    // a plain integer mix so the spec stays runnable.
+    let mix = if p.mix.total_weight() > 0.0 {
+        p.mix.clone()
+    } else {
+        InstrMix::spec_int()
+    };
+    let mut spec = ProgramSpec::user_only(name, mix, code, data);
+    if p.kernel_fraction > 0.02 {
+        spec.kernel_fraction = p.kernel_fraction;
+        spec.kernel_code = Some(CodeSpec {
+            base: 0x4000_0000,
+            ..spec.code.clone()
+        });
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use crate::suite::{Suite, SuiteKind};
+
+    #[test]
+    fn profile_measures_the_basics() {
+        let suite = Suite::preset(SuiteKind::SpecInt95);
+        let t = suite.programs()[0].generate(60_000, 3);
+        let p = profile(t.stream());
+        assert_eq!(p.instructions, 60_000);
+        assert!(p.mix.load > 0.1 && p.mix.load < 0.5);
+        assert!(
+            p.block_len > 2.0 && p.block_len < 12.0,
+            "block_len {}",
+            p.block_len
+        );
+        assert!(p.branch_sites > 100);
+        assert_eq!(p.kernel_fraction, 0.0);
+        assert!(!p.regions.is_empty());
+    }
+
+    #[test]
+    fn streams_are_detected_as_sequential() {
+        let suite = Suite::preset(SuiteKind::SpecFp95);
+        let t = suite.programs()[1].generate(60_000, 3);
+        let p = profile(t.stream());
+        let max_seq = p
+            .regions
+            .iter()
+            .map(|r| r.sequential_fraction)
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_seq > STREAM_THRESHOLD,
+            "stream region must look sequential ({max_seq})"
+        );
+    }
+
+    #[test]
+    fn round_trip_preserves_the_profile_shape() {
+        let suite = Suite::preset(SuiteKind::SpecInt95);
+        let original = suite.programs()[2].generate(80_000, 3);
+        let p1 = profile(original.stream());
+
+        let fitted = Program::new(synthesize("refit", &p1));
+        let regenerated = fitted.generate(80_000, 9);
+        let p2 = profile(regenerated.stream());
+
+        // The regenerated program must match the measured mix closely...
+        assert!(
+            (p1.mix.load - p2.mix.load).abs() < 0.03,
+            "{} vs {}",
+            p1.mix.load,
+            p2.mix.load
+        );
+        assert!((p1.mix.store - p2.mix.store).abs() < 0.03);
+        // ...and structure approximately.
+        assert!((p1.block_len - p2.block_len).abs() < 2.0);
+        assert!(
+            (p1.kernel_fraction - p2.kernel_fraction).abs() < 0.1,
+            "{} vs {}",
+            p1.kernel_fraction,
+            p2.kernel_fraction
+        );
+    }
+
+    #[test]
+    fn tpcc_kernel_fraction_survives_the_round_trip() {
+        let suite = Suite::preset(SuiteKind::Tpcc);
+        let original = suite.programs()[0].generate(120_000, 3);
+        let p1 = profile(original.stream());
+        assert!(p1.kernel_fraction > 0.1);
+
+        let fitted = Program::new(synthesize("tpcc-refit", &p1));
+        let regenerated = fitted.generate(120_000, 9);
+        let p2 = profile(regenerated.stream());
+        assert!(
+            (p1.kernel_fraction - p2.kernel_fraction).abs() < 0.15,
+            "{} vs {}",
+            p1.kernel_fraction,
+            p2.kernel_fraction
+        );
+    }
+
+    #[test]
+    fn empty_trace_profiles_safely() {
+        let t = s64v_trace::VecTrace::new();
+        let p = profile(t.stream());
+        assert_eq!(p.instructions, 0);
+        assert!(p.regions.is_empty());
+        // Synthesis still yields a valid program.
+        let prog = Program::new(synthesize("empty", &p));
+        assert_eq!(prog.generate(100, 1).len(), 100);
+    }
+}

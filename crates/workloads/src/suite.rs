@@ -1,0 +1,381 @@
+//! Benchmark-suite presets mirroring the paper's workloads (§4.1):
+//! SPEC CPU95, SPEC CPU2000 and TPC-C.
+//!
+//! Every preset is a set of [`Program`]s whose parameters are calibrated
+//! to reproduce the *distributional* properties the paper's studies rest
+//! on — not the literal benchmarks. Per-program variation (footprints,
+//! predictability, stream strides) is derived from small hand-written
+//! tables so the suite averages behave like the paper's suite averages:
+//!
+//! * SPEC int: branchy, cache-resident, hard-to-predict subset of sites;
+//! * SPEC fp: FMA-heavy long loops over strided arrays that bust the L2
+//!   but prefetch well;
+//! * TPC-C: huge code and branch-site footprint, OS+user interleave, and
+//!   a data footprint far beyond the L2.
+
+use crate::codegen::CodeSpec;
+use crate::mix::InstrMix;
+use crate::program::{Program, ProgramSpec};
+use crate::regions::{DataSpec, Region};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The benchmark suites evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SuiteKind {
+    /// SPEC CPU95 integer.
+    SpecInt95,
+    /// SPEC CPU95 floating point.
+    SpecFp95,
+    /// SPEC CPU2000 integer.
+    SpecInt2000,
+    /// SPEC CPU2000 floating point.
+    SpecFp2000,
+    /// TPC-C (OS + transaction application), uniprocessor trace.
+    Tpcc,
+}
+
+impl SuiteKind {
+    /// All suites, in the paper's reporting order.
+    pub const ALL: [SuiteKind; 5] = [
+        SuiteKind::SpecInt95,
+        SuiteKind::SpecFp95,
+        SuiteKind::SpecInt2000,
+        SuiteKind::SpecFp2000,
+        SuiteKind::Tpcc,
+    ];
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SuiteKind::SpecInt95 => "SPECint95",
+            SuiteKind::SpecFp95 => "SPECfp95",
+            SuiteKind::SpecInt2000 => "SPECint2000",
+            SuiteKind::SpecFp2000 => "SPECfp2000",
+            SuiteKind::Tpcc => "TPC-C",
+        }
+    }
+}
+
+impl fmt::Display for SuiteKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// A named set of programs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Suite {
+    kind: SuiteKind,
+    programs: Vec<Program>,
+}
+
+impl Suite {
+    /// Builds the preset program set for `kind`.
+    pub fn preset(kind: SuiteKind) -> Suite {
+        let programs = match kind {
+            SuiteKind::SpecInt95 => spec_int_programs(SPEC_INT95_PROGRAMS, 1.0),
+            SuiteKind::SpecInt2000 => spec_int_programs(SPEC_INT2000_PROGRAMS, 1.6),
+            SuiteKind::SpecFp95 => spec_fp_programs(SPEC_FP95_PROGRAMS, 1.0),
+            SuiteKind::SpecFp2000 => spec_fp_programs(SPEC_FP2000_PROGRAMS, 1.5),
+            SuiteKind::Tpcc => vec![tpcc_program()],
+        };
+        Suite { kind, programs }
+    }
+
+    /// The suite's kind.
+    pub fn kind(&self) -> SuiteKind {
+        self.kind
+    }
+
+    /// The programs.
+    pub fn programs(&self) -> &[Program] {
+        &self.programs
+    }
+}
+
+/// Per-program character row: (name, footprint ×, data ×, predictability
+/// delta, loop length ×).
+type IntRow = (&'static str, f64, f64, f64, f64);
+
+const SPEC_INT95_PROGRAMS: &[IntRow] = &[
+    ("go", 1.6, 0.7, -0.20, 0.8),
+    ("m88ksim", 0.7, 0.5, 0.08, 1.2),
+    ("gcc", 2.2, 1.2, -0.10, 0.7),
+    ("compress", 0.4, 1.8, 0.05, 1.5),
+    ("li", 0.8, 0.6, 0.02, 1.0),
+    ("ijpeg", 0.6, 1.4, 0.15, 2.0),
+    ("perl", 1.4, 0.9, -0.05, 0.9),
+    ("vortex", 1.8, 1.6, 0.05, 1.0),
+];
+
+const SPEC_INT2000_PROGRAMS: &[IntRow] = &[
+    ("gzip", 0.5, 1.4, 0.08, 1.5),
+    ("vpr", 0.9, 1.2, -0.08, 1.0),
+    ("gcc", 2.4, 1.3, -0.10, 0.7),
+    ("mcf", 0.5, 6.0, -0.02, 1.1),
+    ("crafty", 1.2, 0.8, -0.12, 0.9),
+    ("parser", 1.0, 1.5, -0.05, 1.0),
+    ("eon", 1.3, 0.7, 0.10, 1.2),
+    ("perlbmk", 1.6, 1.0, -0.04, 0.9),
+    ("gap", 1.1, 1.6, 0.05, 1.1),
+    ("vortex", 1.9, 1.7, 0.05, 1.0),
+    ("bzip2", 0.5, 2.2, 0.07, 1.6),
+    ("twolf", 0.9, 1.0, -0.10, 1.0),
+];
+
+/// (name, stream stride bytes, stream ×, code ×, iters ×)
+type FpRow = (&'static str, u64, f64, f64, f64);
+
+const SPEC_FP95_PROGRAMS: &[FpRow] = &[
+    ("tomcatv", 8, 1.2, 0.6, 1.5),
+    ("swim", 8, 1.5, 0.5, 2.0),
+    ("su2cor", 16, 1.0, 0.9, 1.0),
+    ("hydro2d", 8, 1.1, 0.8, 1.2),
+    ("mgrid", 8, 1.3, 0.6, 1.8),
+    ("applu", 16, 1.0, 1.0, 1.0),
+    ("turb3d", 32, 0.8, 1.1, 0.9),
+    ("apsi", 16, 0.9, 1.2, 0.8),
+    ("fpppp", 8, 0.3, 2.5, 0.6),
+    ("wave5", 16, 1.1, 0.9, 1.1),
+];
+
+const SPEC_FP2000_PROGRAMS: &[FpRow] = &[
+    ("wupwise", 8, 1.2, 0.8, 1.2),
+    ("swim", 8, 1.7, 0.5, 2.0),
+    ("mgrid", 8, 1.4, 0.6, 1.8),
+    ("applu", 16, 1.2, 1.0, 1.0),
+    ("mesa", 16, 0.5, 1.6, 0.7),
+    ("art", 8, 1.6, 0.4, 1.6),
+    ("equake", 16, 1.3, 0.7, 1.1),
+    ("ammp", 32, 0.9, 1.1, 0.8),
+    ("lucas", 8, 1.3, 0.7, 1.3),
+    ("fma3d", 32, 0.8, 1.4, 0.8),
+    ("sixtrack", 16, 0.6, 1.8, 0.7),
+    ("apsi", 16, 0.9, 1.2, 0.8),
+];
+
+fn spec_int_programs(rows: &[IntRow], scale: f64) -> Vec<Program> {
+    rows.iter()
+        .map(|&(name, code_x, data_x, pred_d, loop_x)| {
+            let code = CodeSpec {
+                base: 0x0001_0000,
+                blocks: ((1200.0 * code_x * scale) as u32).max(64),
+                hot_blocks: ((320.0 * code_x * scale) as u32).max(16),
+                hot_weight: 0.85,
+                block_len_min: 3,
+                block_len_max: 8,
+                loop_blocks_min: 1,
+                loop_blocks_max: 4,
+                loop_iters_min: ((4.0 * loop_x) as u32).max(2),
+                loop_iters_max: ((40.0 * loop_x) as u32).max(6),
+                predictable_fraction: (0.74 + pred_d).clamp(0.3, 0.97),
+                easy_bias: 0.96,
+                hard_bias: 0.72,
+            };
+            let data = DataSpec::new(vec![
+                Region::uniform(0x1000_0000, 12 * 1024, 0.87),
+                Region::uniform(0x2000_4000, (24.0 * 1024.0 * data_x.sqrt()) as u64, 0.08),
+                Region::uniform(0x4000_0000, (256.0 * 1024.0 * data_x * scale) as u64, 0.02),
+                Region::uniform(
+                    0x6000_0000,
+                    (4.0 * (1 << 20) as f64 * data_x * scale) as u64,
+                    0.001,
+                ),
+                Region::stream(0x8000_0000, 384 * 1024, 0.010, 64, 2),
+            ]);
+            Program::new(ProgramSpec::user_only(
+                name,
+                InstrMix::spec_int(),
+                code,
+                data,
+            ))
+        })
+        .collect()
+}
+
+fn spec_fp_programs(rows: &[FpRow], scale: f64) -> Vec<Program> {
+    rows.iter()
+        .map(|&(name, stride, stream_x, code_x, iters_x)| {
+            let code = CodeSpec {
+                base: 0x0001_0000,
+                blocks: ((400.0 * code_x) as u32).max(32),
+                hot_blocks: ((160.0 * code_x) as u32).max(16),
+                hot_weight: 0.92,
+                block_len_min: 12,
+                block_len_max: 28,
+                loop_blocks_min: 1,
+                loop_blocks_max: 3,
+                loop_iters_min: ((40.0 * iters_x) as u32).max(10),
+                loop_iters_max: ((300.0 * iters_x) as u32).max(40),
+                predictable_fraction: 0.93,
+                easy_bias: 0.98,
+                hard_bias: 0.78,
+            };
+            let stream_bytes = (24.0 * (1 << 20) as f64 * stream_x * scale) as u64;
+            // Two stream tiers: a working array that the 2 MB L2 captures
+            // after its first sweep, and a larger out-of-cache sweep whose
+            // misses are what the hardware prefetcher earns its keep on.
+            let data = DataSpec::new(vec![
+                Region::uniform(0x1000_0000, 12 * 1024, 0.62),
+                Region::uniform(0x2000_4000, 24 * 1024, 0.07),
+                Region::stream(0x6000_0000, 768 * 1024, 0.22, stride, 4),
+                Region::stream(
+                    0x8000_0000,
+                    stream_bytes,
+                    0.02 * stream_x,
+                    stride.max(16),
+                    2,
+                ),
+                Region::uniform(0x4000_0000, 16 << 20, 0.002),
+            ]);
+            Program::new(ProgramSpec::user_only(
+                name,
+                InstrMix::spec_fp(),
+                code,
+                data,
+            ))
+        })
+        .collect()
+}
+
+/// The TPC-C program: OS + transaction application.
+pub fn tpcc_program() -> Program {
+    let code = CodeSpec {
+        base: 0x0001_0000,
+        blocks: 16_000,
+        hot_blocks: 6_000,
+        hot_weight: 0.96,
+        block_len_min: 3,
+        block_len_max: 8,
+        loop_blocks_min: 3,
+        loop_blocks_max: 6,
+        loop_iters_min: 2,
+        loop_iters_max: 5,
+        predictable_fraction: 0.90,
+        easy_bias: 0.985,
+        hard_bias: 0.75,
+    };
+    let kernel_code = CodeSpec {
+        base: 0x4000_0000,
+        blocks: 7_000,
+        hot_blocks: 3_000,
+        hot_weight: 0.95,
+        ..code.clone()
+    };
+    let data = DataSpec::new(vec![
+        Region::uniform(0x1_0000_0000, 10 * 1024, 0.82),
+        Region::uniform(0x1_1000_3000, 40 * 1024, 0.022),
+        Region::uniform(0x1_2000_0000, 128 * 1024, 0.010),
+        Region::uniform(0x1_4000_0000, 192 << 20, 0.0005),
+        Region::stream(0x1_8000_0000, 128 * 1024, 0.0015, 64, 2),
+        Region::shared_uniform(0x2_0000_0000, 256 * 1024, 0.045),
+    ]);
+    let kernel_data = DataSpec::new(vec![
+        Region::uniform(0x3_0000_A000, 10 * 1024, 0.80),
+        Region::uniform(0x3_1000_D000, 40 * 1024, 0.022),
+        Region::uniform(0x3_2000_0000, 128 * 1024, 0.011),
+        Region::uniform(0x3_4000_0000, 64 << 20, 0.0005),
+        Region::shared_uniform(0x2_0000_0000, 256 * 1024, 0.055),
+    ]);
+    let mut kernel_mix = InstrMix::tpcc();
+    kernel_mix.special = 0.03;
+
+    Program::new(ProgramSpec {
+        name: "tpcc".to_string(),
+        mix: InstrMix::tpcc(),
+        code,
+        data,
+        kernel_fraction: 0.3,
+        kernel_code: Some(kernel_code),
+        kernel_mix: Some(kernel_mix),
+        kernel_data: Some(kernel_data),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s64v_isa::OpClass;
+    use s64v_trace::TraceSummary;
+
+    #[test]
+    fn all_presets_build_and_generate() {
+        for kind in SuiteKind::ALL {
+            let suite = Suite::preset(kind);
+            assert!(!suite.programs().is_empty(), "{kind} has programs");
+            let t = suite.programs()[0].generate(2000, 1);
+            assert_eq!(t.len(), 2000, "{kind}");
+        }
+    }
+
+    #[test]
+    fn int_suites_are_branchy_and_fp_free() {
+        let t = Suite::preset(SuiteKind::SpecInt95).programs()[2].generate(50_000, 2);
+        let s = TraceSummary::collect(t.stream());
+        assert!(
+            s.branch_fraction() > 0.10,
+            "branch fraction {}",
+            s.branch_fraction()
+        );
+        assert_eq!(s.count(OpClass::FpMulAdd), 0);
+        assert!(s.kernel_fraction() == 0.0);
+    }
+
+    #[test]
+    fn fp_suites_have_long_blocks_and_fma() {
+        let t = Suite::preset(SuiteKind::SpecFp95).programs()[1].generate(50_000, 2);
+        let s = TraceSummary::collect(t.stream());
+        assert!(
+            s.branch_fraction() < 0.08,
+            "branch fraction {}",
+            s.branch_fraction()
+        );
+        assert!(s.count(OpClass::FpMulAdd) > 1000);
+    }
+
+    #[test]
+    fn tpcc_has_kernel_code_and_huge_footprints() {
+        let t = Suite::preset(SuiteKind::Tpcc).programs()[0].generate(400_000, 2);
+        let s = TraceSummary::collect(t.stream());
+        assert!(
+            (0.1..0.6).contains(&s.kernel_fraction()),
+            "kernel fraction {}",
+            s.kernel_fraction()
+        );
+        assert!(
+            s.branch_sites > 4_000,
+            "TPC-C needs a BHT-busting site count, got {}",
+            s.branch_sites
+        );
+        assert!(
+            s.code_footprint_bytes() > 96 * 1024,
+            "code footprint {} must stress the L1I",
+            s.code_footprint_bytes()
+        );
+        assert!(s.count(OpClass::Special) > 500);
+    }
+
+    #[test]
+    fn spec_code_footprints_fit_the_bht() {
+        for kind in [SuiteKind::SpecInt95, SuiteKind::SpecInt2000] {
+            for p in Suite::preset(kind).programs() {
+                let t = p.generate(30_000, 3);
+                let s = TraceSummary::collect(t.stream());
+                assert!(
+                    s.branch_sites < 4096,
+                    "{} has {} sites; SPEC programs fit the small BHT",
+                    p.name(),
+                    s.branch_sites
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn suite_labels() {
+        assert_eq!(SuiteKind::Tpcc.label(), "TPC-C");
+        assert_eq!(SuiteKind::SpecFp2000.to_string(), "SPECfp2000");
+        assert_eq!(SuiteKind::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,249 @@
+//! Property-based tests on the core data structures and the simulator's
+//! global invariants.
+
+use proptest::prelude::*;
+use sparc64v::isa::{Instr, MemWidth, OpClass, Reg};
+use sparc64v::mem::cache::Cache;
+use sparc64v::mem::coherence::{Directory, Mesi};
+use sparc64v::mem::config::CacheGeometry;
+use sparc64v::trace::{binary, TraceRecord, VecTrace};
+use std::collections::HashMap;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    prop_oneof![
+        (0u8..32).prop_map(Reg::int),
+        (0u8..32).prop_map(Reg::fp),
+        Just(Reg::cc()),
+    ]
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    let width = prop_oneof![
+        Just(MemWidth::B1),
+        Just(MemWidth::B2),
+        Just(MemWidth::B4),
+        Just(MemWidth::B8)
+    ];
+    prop_oneof![
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(d, a, b)| Instr::alu(
+            OpClass::IntAlu,
+            d,
+            &[a, b]
+        )),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(d, a, b)| Instr::alu(
+            OpClass::FpMulAdd,
+            d,
+            &[a, b]
+        )),
+        (arb_reg(), arb_reg(), any::<u64>(), width.clone())
+            .prop_map(|(d, b, addr, w)| Instr::load(d, b, addr, w)),
+        (arb_reg(), arb_reg(), any::<u64>(), width)
+            .prop_map(|(d, b, addr, w)| Instr::store(d, b, addr, w)),
+        (any::<bool>(), any::<u64>()).prop_map(|(t, tgt)| Instr::branch_cond(t, tgt)),
+        any::<u64>().prop_map(Instr::branch_uncond),
+        Just(Instr::nop()),
+        Just(Instr::special().kernel()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn trace_binary_round_trips(records in prop::collection::vec((any::<u64>(), arb_instr()), 0..200)) {
+        let trace: VecTrace = records
+            .into_iter()
+            .map(|(pc, instr)| TraceRecord::new(pc, instr))
+            .collect();
+        let encoded = binary::encode(&trace);
+        let decoded = binary::decode(&encoded).expect("round trip");
+        prop_assert_eq!(decoded, trace);
+    }
+
+    #[test]
+    fn trace_text_round_trips(records in prop::collection::vec((any::<u64>(), arb_instr()), 0..100)) {
+        let trace: VecTrace = records
+            .into_iter()
+            .map(|(pc, instr)| TraceRecord::new(pc, instr))
+            .collect();
+        let text = sparc64v::trace::text::to_text(&trace);
+        let parsed = sparc64v::trace::text::parse_text(&text).expect("round trip");
+        prop_assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn cache_matches_reference_lru(addrs in prop::collection::vec(0u64..(1 << 14), 1..600)) {
+        // 8 sets × 2 ways of 64-byte lines, against a naive reference.
+        let geometry = CacheGeometry::new(1024, 2, 1);
+        let sets = geometry.sets();
+        let mut cache = Cache::new(geometry);
+        // Reference: per set, a Vec<line> kept in LRU order (front = LRU).
+        let mut reference: HashMap<u64, Vec<u64>> = HashMap::new();
+        let _ = sets;
+        for addr in addrs {
+            let line = addr / 64;
+            let set = cache.set_of(addr) as u64;
+            let entry = reference.entry(set).or_default();
+            let expected_hit = entry.contains(&line);
+            let actual_hit = cache.access(addr);
+            prop_assert_eq!(actual_hit, expected_hit, "line {}", line);
+            if expected_hit {
+                entry.retain(|&l| l != line);
+                entry.push(line);
+            } else {
+                cache.fill(addr, false);
+                if entry.len() == 2 {
+                    entry.remove(0);
+                }
+                entry.push(line);
+            }
+        }
+        prop_assert!(cache.occupancy() <= 16);
+    }
+
+    #[test]
+    fn mesi_invariants_hold_under_random_traffic(
+        ops in prop::collection::vec((0usize..4, 0u64..32, 0u8..3), 1..500)
+    ) {
+        let mut dir = Directory::new(4);
+        for (core, line_idx, op) in ops {
+            let line = line_idx * 64;
+            match op {
+                0 => {
+                    if dir.state(core, line) == Mesi::Invalid {
+                        dir.read(core, line);
+                    }
+                }
+                1 => {
+                    dir.write(core, line);
+                }
+                _ => {
+                    dir.evict(core, line);
+                }
+            }
+            prop_assert!(dir.check_invariants(line), "line {line:#x} violated MESI");
+        }
+    }
+
+    #[test]
+    fn writes_are_exclusive(ops in prop::collection::vec((0usize..4, 0u64..16), 1..200)) {
+        let mut dir = Directory::new(4);
+        for (core, line_idx) in ops {
+            let line = line_idx * 64;
+            dir.write(core, line);
+            prop_assert_eq!(dir.state(core, line), Mesi::Modified);
+            for other in 0..4 {
+                if other != core {
+                    prop_assert_eq!(dir.state(other, line), Mesi::Invalid);
+                }
+            }
+        }
+    }
+}
+
+mod simulator_props {
+    use super::*;
+
+    use sparc64v::model::{PerformanceModel, SystemConfig};
+    use sparc64v::workloads::{Suite, SuiteKind};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn any_seed_simulates_deterministically(seed in 0u64..1000) {
+            let suite = Suite::preset(SuiteKind::SpecInt95);
+            let trace = suite.programs()[0].generate(6_000, seed);
+            let model = PerformanceModel::new(SystemConfig::sparc64_v());
+            let a = model.run_trace(&trace);
+            let b = model.run_trace(&trace);
+            prop_assert_eq!(a.cycles, b.cycles);
+            prop_assert_eq!(a.committed, 6_000);
+        }
+
+        #[test]
+        fn commits_match_trace_length(len in 1usize..4_000, seed in 0u64..50) {
+            let suite = Suite::preset(SuiteKind::SpecFp95);
+            let trace = suite.programs()[0].generate(len, seed);
+            let model = PerformanceModel::new(SystemConfig::sparc64_v());
+            let r = model.run_trace(&trace);
+            prop_assert_eq!(r.committed, len as u64);
+        }
+    }
+}
+
+mod bus_props {
+    use proptest::prelude::*;
+    use sparc64v::mem::bus::{BusOp, SystemBus};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn grants_never_overlap(reqs in prop::collection::vec((0u64..10_000, any::<bool>()), 1..200)) {
+            let mut bus = SystemBus::new(16, 4, 64);
+            let mut grants: Vec<(u64, u64)> = Vec::new();
+            for (now, is_line) in reqs {
+                let op = if is_line { BusOp::LineTransfer } else { BusOp::Command };
+                let g = bus.request(now, op, 300);
+                prop_assert!(g.granted_at >= now, "no time travel");
+                grants.push((g.granted_at, g.done_at));
+            }
+            grants.sort();
+            for w in grants.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "bus phases must not overlap: {w:?}");
+            }
+        }
+
+        #[test]
+        fn outstanding_limit_bounds_concurrency(n in 1usize..100) {
+            let mut bus = SystemBus::new(1, 1, 4);
+            // All requests at time 0 with long round trips: at most 4 can
+            // be in flight, so grant times must spread out.
+            let mut grants = Vec::new();
+            for _ in 0..n {
+                grants.push(bus.request(0, BusOp::Command, 1_000).granted_at);
+            }
+            for (i, &g) in grants.iter().enumerate() {
+                // The i-th request waits for floor(i/4) round trips.
+                prop_assert!(g >= (i as u64 / 4) * 1_000);
+            }
+        }
+    }
+}
+
+mod bht_props {
+    use proptest::prelude::*;
+    use sparc64v::cpu::{Bht, BhtConfig};
+    use std::collections::HashMap;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn bht_matches_an_unbounded_two_bit_reference_when_it_fits(
+            events in prop::collection::vec((0u64..64, any::<bool>()), 1..500)
+        ) {
+            // 64 sites × 4 bytes fit comfortably in the 16K-entry table,
+            // so the tagged table must behave exactly like an unbounded
+            // per-site 2-bit counter file.
+            let mut bht = Bht::new(BhtConfig::large_16k_4w_2t());
+            let mut reference: HashMap<u64, u8> = HashMap::new();
+            for (site, taken) in events {
+                let pc = site * 4;
+                let expected = reference.get(&pc).map(|&c| c >= 2);
+                let got = bht.predict(pc);
+                if let Some(exp) = expected {
+                    prop_assert_eq!(got, exp, "site {}", site);
+                } else {
+                    prop_assert!(!got, "cold sites predict not-taken");
+                }
+                bht.update(pc, taken);
+                let c = reference.entry(pc).or_insert(if taken { 2 } else { 1 });
+                if expected.is_some() {
+                    *c = if taken { (*c + 1).min(3) } else { c.saturating_sub(1) };
+                }
+            }
+        }
+    }
+}
