@@ -1,91 +1,94 @@
-//! Criterion micro-benches for the hot component models: cache lookups,
-//! BHT prediction, MESI directory transitions and the trace codec.
+//! Micro-benches for the hot component models: cache lookups, BHT
+//! prediction, MESI directory transitions and the trace codec.
+//!
+//! Plain `harness = false` timing loops (the workspace builds offline,
+//! so there is no Criterion); run with `cargo bench -p s64v-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use s64v_cpu::{Bht, BhtConfig};
 use s64v_mem::cache::Cache;
-use s64v_mem::coherence::Directory;
+use s64v_mem::coherence::{Directory, Mesi};
 use s64v_mem::config::CacheGeometry;
 use s64v_trace::binary;
 use s64v_workloads::{Suite, SuiteKind};
+use std::hint::black_box;
+use std::time::Instant;
 
-fn cache_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache");
-    group.throughput(Throughput::Elements(1));
+/// Times `ops` invocations of `f` and reports per-op latency.
+fn bench(group: &str, name: &str, ops: u64, mut f: impl FnMut(u64)) {
+    // Warm up, then time one long batch.
+    for i in 0..(ops / 10).max(1) {
+        f(i);
+    }
+    let t0 = Instant::now();
+    for i in 0..ops {
+        f(i);
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "{group}/{name}: {:.1} ns/op, {:.2} Mops/s",
+        dt / ops as f64 * 1e9,
+        ops as f64 / dt / 1e6
+    );
+}
+
+fn cache_ops() {
     let mut cache = Cache::new(CacheGeometry::new(128 * 1024, 2, 4));
-    let mut i = 0u64;
-    group.bench_function("access_fill", |b| {
-        b.iter(|| {
-            let addr = (i.wrapping_mul(0x9e3779b97f4a7c15)) & 0xf_ffff;
-            if !cache.access(addr) {
-                cache.fill(addr, false);
-            }
-            i += 1;
-        })
+    bench("cache", "access_fill", 2_000_000, |i| {
+        let addr = (i.wrapping_mul(0x9e3779b97f4a7c15)) & 0xf_ffff;
+        if !cache.access(addr) {
+            cache.fill(addr, false);
+        }
     });
-    group.finish();
 }
 
-fn bht_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bht");
-    group.throughput(Throughput::Elements(1));
+fn bht_ops() {
     let mut bht = Bht::new(BhtConfig::large_16k_4w_2t());
-    let mut i = 0u64;
-    group.bench_function("predict_update", |b| {
-        b.iter(|| {
-            let pc = (i % 30_000) * 4;
-            let taken = !i.is_multiple_of(3);
-            let _ = bht.predict(pc);
-            bht.update(pc, taken);
-            i += 1;
-        })
+    bench("bht", "predict_update", 2_000_000, |i| {
+        let pc = (i % 30_000) * 4;
+        let taken = !i.is_multiple_of(3);
+        black_box(bht.predict(pc));
+        bht.update(pc, taken);
     });
-    group.finish();
 }
 
-fn directory_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mesi");
-    group.throughput(Throughput::Elements(1));
+fn directory_ops() {
     let mut dir = Directory::new(16);
-    let mut i = 0u64;
-    group.bench_function("read_write_evict", |b| {
-        b.iter(|| {
-            let core = (i % 16) as usize;
-            let line = (i % 4096) * 64;
-            match i % 3 {
-                0 => {
-                    if !matches!(dir.state(core, line), s64v_mem::coherence::Mesi::Invalid) {
-                        dir.evict(core, line);
-                    } else {
-                        dir.read(core, line);
-                    }
-                }
-                1 => {
-                    dir.write(core, line);
-                }
-                _ => {
+    bench("mesi", "read_write_evict", 1_000_000, |i| {
+        let core = (i % 16) as usize;
+        let line = (i % 4096) * 64;
+        match i % 3 {
+            0 => {
+                if !matches!(dir.state(core, line), Mesi::Invalid) {
                     dir.evict(core, line);
+                } else {
+                    dir.read(core, line);
                 }
             }
-            i += 1;
-        })
+            1 => {
+                dir.write(core, line);
+            }
+            _ => {
+                dir.evict(core, line);
+            }
+        }
     });
-    group.finish();
 }
 
-fn trace_codec(c: &mut Criterion) {
+fn trace_codec() {
     let suite = Suite::preset(SuiteKind::SpecInt95);
     let trace = suite.programs()[0].generate(50_000, 3);
     let encoded = binary::encode(&trace);
-    let mut group = c.benchmark_group("trace_codec");
-    group.sample_size(20);
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    group.bench_function("encode", |b| b.iter(|| binary::encode(&trace)));
-    group.bench_function("decode", |b| {
-        b.iter(|| binary::decode(&encoded).expect("valid"))
+    bench("trace_codec", "encode", 20, |_| {
+        black_box(binary::encode(&trace));
     });
-    group.finish();
+    bench("trace_codec", "decode", 20, |_| {
+        black_box(binary::decode(&encoded).expect("valid"));
+    });
 }
 
-criterion_group!(benches, cache_ops, bht_ops, directory_ops, trace_codec);
-criterion_main!(benches);
+fn main() {
+    cache_ops();
+    bht_ops();
+    directory_ops();
+    trace_codec();
+}

@@ -1,42 +1,54 @@
-//! Criterion bench: simulator throughput (simulated instructions per
-//! second), the analogue of the paper's "7.8 K instructions per second on
-//! a 1 GHz Pentium III" figure for its C model (§2.1).
+//! Bench: simulator throughput (simulated instructions per second), the
+//! analogue of the paper's "7.8 K instructions per second on a 1 GHz
+//! Pentium III" figure for its C model (§2.1).
+//!
+//! Plain `harness = false` timing loops (the workspace builds offline,
+//! so there is no Criterion); run with `cargo bench -p s64v-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use s64v_core::{PerformanceModel, SystemConfig};
 use s64v_workloads::{Suite, SuiteKind};
+use std::time::Instant;
 
-fn sim_speed(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_speed");
-    group.sample_size(10);
+/// Runs `f` a few times and reports the best-iteration throughput.
+fn bench(group: &str, name: &str, elements: u64, iters: u32, mut f: impl FnMut()) {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    println!(
+        "{group}/{name}: {:.3} ms/iter, {:.0} elem/s",
+        best * 1e3,
+        elements as f64 / best
+    );
+}
+
+fn sim_speed() {
     for kind in [SuiteKind::SpecInt95, SuiteKind::SpecFp95, SuiteKind::Tpcc] {
         let suite = Suite::preset(kind);
         let program = &suite.programs()[0];
         let records = 30_000usize;
         let trace = program.generate(records + 200_000, 7);
         let model = PerformanceModel::new(SystemConfig::sparc64_v());
-        group.throughput(Throughput::Elements(records as u64));
-        group.bench_with_input(BenchmarkId::new("up", kind.label()), &trace, |b, t| {
-            b.iter(|| model.run_trace_warm(t, 200_000));
+        bench("sim_speed", kind.label(), records as u64, 5, || {
+            model.run_trace_warm(&trace, 200_000);
         });
     }
-    group.finish();
 }
 
-fn generation_speed(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trace_generation");
-    group.sample_size(10);
+fn generation_speed() {
     for kind in [SuiteKind::SpecInt95, SuiteKind::Tpcc] {
         let suite = Suite::preset(kind);
         let program = suite.programs()[0].clone();
         let records = 100_000usize;
-        group.throughput(Throughput::Elements(records as u64));
-        group.bench_function(BenchmarkId::new("generate", kind.label()), |b| {
-            b.iter(|| program.generate(records, 7));
+        bench("trace_generation", kind.label(), records as u64, 5, || {
+            program.generate(records, 7);
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, sim_speed, generation_speed);
-criterion_main!(benches);
+fn main() {
+    sim_speed();
+    generation_speed();
+}

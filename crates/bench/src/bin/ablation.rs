@@ -1,65 +1,11 @@
 //! Ablation studies for the §3.1/§3.2 design techniques the paper
 //! describes but does not plot: speculative dispatch, data forwarding,
 //! and dual operand access (cache port count).
-
-use s64v_bench::{banner, run_up_suites, HarnessOpts};
-use s64v_core::SystemConfig;
-use s64v_stats::Table;
+//!
+//! Delegates to the `ablation` figure in [`s64v_harness::figures`];
+//! point construction and rendering live there, execution (parallel,
+//! cached, crash-isolated) in the campaign engine.
 
 fn main() {
-    let opts = HarnessOpts::from_env();
-    banner(
-        "Ablations — speculative dispatch / data forwarding / dual access",
-        "§3.1, §3.2",
-        "each technique should contribute IPC; dual access matters most for memory-heavy work",
-    );
-    let base = SystemConfig::sparc64_v();
-    let no_spec = base
-        .clone()
-        .with_core(base.core.clone().without_speculative_dispatch());
-    let no_fwd = base
-        .clone()
-        .with_core(base.core.clone().without_data_forwarding());
-    let single_port = {
-        let mut c = base.clone();
-        c.core.dcache_ports = 1;
-        c
-    };
-    let wrong_path = base
-        .clone()
-        .with_core(base.core.clone().with_wrong_path_fetch());
-
-    let configs = [
-        ("base", &base),
-        ("no-spec-dispatch", &no_spec),
-        ("no-forwarding", &no_fwd),
-        ("single-port-L1D", &single_port),
-        ("wrong-path-fetch", &wrong_path),
-    ];
-    let mut results = Vec::new();
-    for (name, cfg) in configs {
-        results.push((name, run_up_suites(cfg, &opts)));
-    }
-
-    let mut t = Table::with_headers(&[
-        "workload",
-        "base IPC",
-        "no-spec %",
-        "no-fwd %",
-        "1-port %",
-        "wrong-path %",
-    ]);
-    for i in 0..results[0].1.len() {
-        let base_ipc = results[0].1[i].ipc();
-        let pct = |j: usize| format!("{:.1}", results[j].1[i].ipc() / base_ipc * 100.0);
-        t.row(vec![
-            results[0].1[i].label.clone(),
-            format!("{base_ipc:.3}"),
-            pct(1),
-            pct(2),
-            pct(3),
-            pct(4),
-        ]);
-    }
-    s64v_bench::emit("ablation", &t);
+    s64v_bench::figure_main("ablation");
 }

@@ -1,40 +1,11 @@
 //! Bus-network ablation (§2.1's "bus network connecting chips"): flat
 //! shared bus vs a hierarchical board + backplane network for the TPC-C
 //! SMP model.
-
-use s64v_bench::{banner, run_smp, HarnessOpts};
-use s64v_core::SystemConfig;
-use s64v_stats::Table;
+//!
+//! Delegates to the `ablation_bus` figure in [`s64v_harness::figures`];
+//! point construction and rendering live there, execution (parallel,
+//! cached, crash-isolated) in the campaign engine.
 
 fn main() {
-    let opts = HarnessOpts::from_env();
-    banner(
-        "Ablation — SMP bus network: flat vs board + backplane",
-        "§2.1 (system-level communication structure)",
-        "board crossings tax coherence; throughput drops as sharing spans boards",
-    );
-    let flat = SystemConfig::sparc64_v();
-    let hier4 = flat
-        .clone()
-        .with_mem(flat.mem.clone().with_hierarchical_bus(4, 12));
-    let hier2 = flat
-        .clone()
-        .with_mem(flat.mem.clone().with_hierarchical_bus(2, 12));
-
-    let mut t = Table::with_headers(&["topology", "TPC-C SMP IPC", "move-outs", "bus util %"]);
-    for (name, cfg) in [
-        ("flat", &flat),
-        ("boards of 4 + backplane", &hier4),
-        ("boards of 2 + backplane", &hier2),
-    ] {
-        let r = run_smp(cfg, &opts);
-        let rr = &r.programs[0].result;
-        t.row(vec![
-            name.to_string(),
-            format!("{:.3}", r.ipc()),
-            rr.move_outs().to_string(),
-            format!("{:.1}", rr.bus_utilization() * 100.0),
-        ]);
-    }
-    s64v_bench::emit("ablation_bus", &t);
+    s64v_bench::figure_main("ablation_bus");
 }

@@ -1,51 +1,11 @@
 //! Window / queue sizing sweep: validates Table 1's choices (64-entry
 //! window, 16/10 load/store queues, 32+32 renaming registers) by showing
 //! diminishing returns beyond them.
-
-use s64v_bench::{banner, HarnessOpts};
-use s64v_core::experiment::{parallel_map, run_suite_warm};
-use s64v_core::SystemConfig;
-use s64v_stats::Table;
-use s64v_workloads::SuiteKind;
+//!
+//! Delegates to the `ablation_window` figure in [`s64v_harness::figures`];
+//! point construction and rendering live there, execution (parallel,
+//! cached, crash-isolated) in the campaign engine.
 
 fn main() {
-    let opts = HarnessOpts::from_env();
-    banner(
-        "Sizing sweep — instruction window and load/store queues",
-        "Table 1 (design validation)",
-        "IPC saturates near the shipped sizes (64-entry window, 16/10 LSQ)",
-    );
-
-    let sweeps: Vec<(String, SystemConfig)> = [
-        (16u32, 8u32, 6u32),
-        (32, 12, 8),
-        (64, 16, 10),
-        (128, 32, 20),
-    ]
-    .iter()
-    .map(|&(win, lq, sq)| {
-        let mut c = SystemConfig::sparc64_v();
-        c.core.window_size = win;
-        c.core.load_queue = lq;
-        c.core.store_queue = sq;
-        (format!("win{win}/lq{lq}/sq{sq}"), c)
-    })
-    .collect();
-
-    let mut t = Table::with_headers(&["configuration", "SPECint95 IPC", "TPC-C IPC"]);
-    let rows = parallel_map(&sweeps, |(name, cfg)| {
-        let int = run_suite_warm(
-            cfg,
-            SuiteKind::SpecInt95,
-            opts.records,
-            opts.warmup,
-            opts.seed,
-        );
-        let tpcc = run_suite_warm(cfg, SuiteKind::Tpcc, opts.records, opts.warmup, opts.seed);
-        (name.clone(), int.ipc(), tpcc.ipc())
-    });
-    for (name, int, tpcc) in rows {
-        t.row(vec![name, format!("{int:.3}"), format!("{tpcc:.3}")]);
-    }
-    s64v_bench::emit("ablation_window", &t);
+    s64v_bench::figure_main("ablation_window");
 }

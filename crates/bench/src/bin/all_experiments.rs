@@ -1,51 +1,65 @@
 //! Runs every experiment harness (T-1, E-07…E-19) in sequence.
 //!
-//! Each experiment is also available as its own binary; this runner simply
-//! execs them so one command regenerates the whole evaluation section.
+//! The simulating figures run as ONE merged campaign through
+//! [`s64v_harness`]: shared points (every figure re-running the base
+//! configuration, say) are simulated once, the whole set executes in
+//! parallel, results are cached under `results-cache/`, and a point that
+//! panics fails its figure without taking the rest down. `table1` and
+//! `workloads_report` do not simulate, so they still run as plain
+//! subprocesses, keeping the output order of the old sequential runner.
 
+use s64v_harness::figures::{figure_names, run_figures, EngineOpts};
+use s64v_harness::HarnessOpts;
 use std::process::Command;
 
-const BINS: &[&str] = &[
-    "table1",
-    "fig07_breakdown",
-    "fig08_issue_width",
-    "fig09_bht",
-    "fig10_bpred_miss",
-    "fig11_l1",
-    "fig12_l1i_miss",
-    "fig13_l1d_miss",
-    "fig14_l2",
-    "fig15_l2_miss",
-    "fig16_prefetch",
-    "fig17_prefetch_miss",
-    "fig18_rs",
-    "fig19_accuracy",
-    // Extensions beyond the paper's figures:
-    "verify_model",
-    "ablation",
-    "ablation_window",
-    "ablation_bus",
-    "cpi_stack",
-    "stability",
-    "workloads_report",
-];
+/// Non-simulating experiments, run as sibling binaries.
+const PRE_BINS: &[&str] = &["table1"];
+const POST_BINS: &[&str] = &["workloads_report"];
+
+fn exec(bin: &str, failures: &mut Vec<String>) {
+    let exe = std::env::current_exe().expect("own path");
+    let path = exe.parent().expect("bin dir").join(bin);
+    match Command::new(&path).status() {
+        Ok(s) if s.success() => {}
+        other => {
+            eprintln!("experiment {bin} failed: {other:?}");
+            failures.push(bin.to_string());
+        }
+    }
+    println!();
+}
 
 fn main() {
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir");
+    let opts = HarnessOpts::from_env();
+    let engine = EngineOpts::from_env();
     let mut failures = Vec::new();
-    for bin in BINS {
-        let path = dir.join(bin);
-        let status = Command::new(&path).status();
-        match status {
-            Ok(s) if s.success() => {}
-            other => {
-                eprintln!("experiment {bin} failed: {other:?}");
-                failures.push(*bin);
-            }
-        }
-        println!();
+
+    for bin in PRE_BINS {
+        exec(bin, &mut failures);
     }
+
+    match run_figures(&figure_names(), &opts, &engine, None) {
+        Ok(summary) => {
+            for (label, error) in &summary.point_failures {
+                eprintln!("failed point: {label}: {error}");
+            }
+            for (fig, reason) in &summary.render_failures {
+                eprintln!("experiment {fig} failed: {reason}");
+                failures.push(fig.to_string());
+            }
+            eprintln!("campaign: {}", summary.report.summary());
+        }
+        Err(e) => {
+            eprintln!("campaign error: {e}");
+            std::process::exit(2);
+        }
+    }
+    println!();
+
+    for bin in POST_BINS {
+        exec(bin, &mut failures);
+    }
+
     if !failures.is_empty() {
         eprintln!("failed experiments: {failures:?}");
         std::process::exit(1);

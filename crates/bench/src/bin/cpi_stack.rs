@@ -2,58 +2,11 @@
 //! second method for Figure 7's execution-time breakdown. Where the
 //! idealized-model method re-runs with perfect components, this one blames
 //! every zero-commit cycle on the window head's state during the base run.
-
-use s64v_bench::{banner, HarnessOpts, UP_SUITES};
-use s64v_core::experiment::run_suite_warm;
-use s64v_core::SystemConfig;
-use s64v_stats::Table;
+//!
+//! Delegates to the `cpi_stack` figure in [`s64v_harness::figures`];
+//! point construction and rendering live there, execution (parallel,
+//! cached, crash-isolated) in the campaign engine.
 
 fn main() {
-    let opts = HarnessOpts::from_env();
-    banner(
-        "Online CPI stacks",
-        "§4.2 (cross-check of Fig 7 by a second method)",
-        "L2-miss blame dominates TPC-C; execute dominates SPECfp; branches show on int",
-    );
-    let config = SystemConfig::sparc64_v();
-    let mut t = Table::with_headers(&[
-        "workload",
-        "busy",
-        "L2-miss",
-        "L1-miss",
-        "execute",
-        "dispatch",
-        "fe-branch",
-        "fe-fetch",
-    ]);
-    for kind in UP_SUITES {
-        let r = run_suite_warm(&config, kind, opts.records, opts.warmup, opts.seed);
-        // Merge raw cycle counts across programs.
-        let mut sums = [0u64; 7];
-        for p in &r.programs {
-            let s = &p.result.core_stats[0].stall_cycles;
-            for (i, c) in [
-                s.busy,
-                s.l2_miss,
-                s.l1_miss,
-                s.execute,
-                s.dispatch,
-                s.frontend_branch,
-                s.frontend_fetch,
-            ]
-            .iter()
-            .enumerate()
-            {
-                sums[i] += c.get();
-            }
-        }
-        let total: u64 = sums.iter().sum();
-        let mut row = vec![kind.label().to_string()];
-        row.extend(
-            sums.iter()
-                .map(|&c| format!("{:.2}", c as f64 / total.max(1) as f64)),
-        );
-        t.row(row);
-    }
-    s64v_bench::emit("cpi_stack", &t);
+    s64v_bench::figure_main("cpi_stack");
 }

@@ -1,38 +1,10 @@
 //! E-07: Figure 7 — benchmark characteristics as an execution-time
 //! breakdown (sx / ibs+tlb / branch / core) via cumulative idealization.
-
-use s64v_bench::{banner, HarnessOpts, UP_SUITES};
-use s64v_core::experiment::parallel_map;
-use s64v_core::{characterize_warm, Breakdown, SystemConfig};
-use s64v_stats::Table;
-use s64v_workloads::Suite;
+//!
+//! Delegates to the `fig07_breakdown` figure in [`s64v_harness::figures`];
+//! point construction and rendering live there, execution (parallel,
+//! cached, crash-isolated) in the campaign engine.
 
 fn main() {
-    let opts = HarnessOpts::from_env();
-    let config = SystemConfig::sparc64_v();
-    banner(
-        "Figure 7 — Benchmark characteristics",
-        "§4.2, Fig 7",
-        "SPECint95 branch ≈ 30% vs SPECfp95 ≈ 3%; SPECfp95 core ≈ 74%; TPC-C sx ≈ 35%",
-    );
-
-    let mut t = Table::with_headers(&["workload", "sx", "ibs/tlb", "branch", "core"]);
-    for kind in UP_SUITES {
-        let suite = Suite::preset(kind);
-        // Mean breakdown over the suite's programs, run in parallel.
-        let parts: Vec<Breakdown> = parallel_map(suite.programs(), |p| {
-            let trace = p.generate(opts.records + opts.warmup, opts.seed);
-            characterize_warm(&config, &trace, opts.warmup)
-        });
-        let n = parts.len() as f64;
-        let mean = |f: fn(&Breakdown) -> f64| parts.iter().map(f).sum::<f64>() / n;
-        t.row(vec![
-            kind.label().to_string(),
-            format!("{:.2}", mean(|b| b.sx)),
-            format!("{:.2}", mean(|b| b.ibs_tlb)),
-            format!("{:.2}", mean(|b| b.branch)),
-            format!("{:.2}", mean(|b| b.core)),
-        ]);
-    }
-    s64v_bench::emit("fig07_breakdown", &t);
+    s64v_bench::figure_main("fig07_breakdown");
 }

@@ -1,25 +1,9 @@
 //! E-08: Figure 8 — 4-way vs 2-way issue width, IPC ratio per workload.
-
-use s64v_bench::{banner, run_up_suites, HarnessOpts};
-use s64v_core::report::ipc_ratio_table;
-use s64v_core::SystemConfig;
+//!
+//! Delegates to the `fig08_issue_width` figure in [`s64v_harness::figures`];
+//! point construction and rendering live there, execution (parallel,
+//! cached, crash-isolated) in the campaign engine.
 
 fn main() {
-    let opts = HarnessOpts::from_env();
-    banner(
-        "Figure 8 — Issue width: 4-way vs 2-way",
-        "§4.3.1, Fig 8",
-        "2-way is a bottleneck everywhere; SPECint95/2000 lose the most (high cache-hit ratios)",
-    );
-    let four = SystemConfig::sparc64_v();
-    let two = four
-        .clone()
-        .with_core(four.core.clone().with_issue_width(2));
-    let base = run_up_suites(&four, &opts);
-    let alt = run_up_suites(&two, &opts);
-    let rows: Vec<_> = base.into_iter().zip(alt).collect();
-    s64v_bench::emit(
-        "fig08_issue_width",
-        &ipc_ratio_table("4-way", "2-way", &rows),
-    );
+    s64v_bench::figure_main("fig08_issue_width");
 }

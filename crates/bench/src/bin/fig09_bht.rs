@@ -1,23 +1,9 @@
 //! E-09: Figure 9 — branch history table: 16k-4w.2t vs 4k-2w.1t IPC.
-
-use s64v_bench::{banner, run_up_suites, HarnessOpts};
-use s64v_core::report::ipc_ratio_table;
-use s64v_core::SystemConfig;
+//!
+//! Delegates to the `fig09_bht` figure in [`s64v_harness::figures`];
+//! point construction and rendering live there, execution (parallel,
+//! cached, crash-isolated) in the campaign engine.
 
 fn main() {
-    let opts = HarnessOpts::from_env();
-    banner(
-        "Figure 9 — BHT: latency vs size",
-        "§4.3.2, Fig 9",
-        "SPEC ≈ parity (slight 4k benefit possible); TPC-C loses ≈ 5.6% IPC on the small table",
-    );
-    let large = SystemConfig::sparc64_v();
-    let small = large.clone().with_core(large.core.clone().with_small_bht());
-    let base = run_up_suites(&large, &opts);
-    let alt = run_up_suites(&small, &opts);
-    let rows: Vec<_> = base.into_iter().zip(alt).collect();
-    s64v_bench::emit(
-        "fig09_bht",
-        &ipc_ratio_table("16k-4w.2t", "4k-2w.1t", &rows),
-    );
+    s64v_bench::figure_main("fig09_bht");
 }

@@ -1,37 +1,9 @@
 //! E-10: Figure 10 — branch prediction failure rates for the two BHTs.
-
-use s64v_bench::{banner, run_up_suites, HarnessOpts};
-use s64v_core::report::ratio_table;
-use s64v_core::SystemConfig;
+//!
+//! Delegates to the `fig10_bpred_miss` figure in [`s64v_harness::figures`];
+//! point construction and rendering live there, execution (parallel,
+//! cached, crash-isolated) in the campaign engine.
 
 fn main() {
-    let opts = HarnessOpts::from_env();
-    banner(
-        "Figure 10 — Branch prediction failures",
-        "§4.3.2, Fig 10",
-        "SPEC rates ≈ equal on both tables; TPC-C's 4k-2w.1t rate ≈ 60% higher than 16k-4w.2t",
-    );
-    let large_cfg = SystemConfig::sparc64_v();
-    let small_cfg = large_cfg
-        .clone()
-        .with_core(large_cfg.core.clone().with_small_bht());
-    let large = run_up_suites(&large_cfg, &opts);
-    let small = run_up_suites(&small_cfg, &opts);
-    let t = ratio_table(
-        "mispredict %",
-        &[("16k-4w.2t", &large), ("4k-2w.1t", &small)],
-        |s| s.mispredict().percent(),
-    );
-    s64v_bench::emit("fig10_bpred_miss", &t);
-    for (l, s) in large.iter().zip(&small) {
-        let inc = if l.mispredict().value() > 0.0 {
-            (s.mispredict().value() / l.mispredict().value() - 1.0) * 100.0
-        } else {
-            0.0
-        };
-        println!(
-            "{}: small-table failure rate {:+.0}% vs large",
-            l.label, inc
-        );
-    }
+    s64v_bench::figure_main("fig10_bpred_miss");
 }

@@ -1,23 +1,9 @@
 //! E-11: Figure 11 — L1 cache: 32k-1w.3c vs 128k-2w.4c IPC.
-
-use s64v_bench::{banner, run_up_suites, HarnessOpts};
-use s64v_core::report::ipc_ratio_table;
-use s64v_core::SystemConfig;
+//!
+//! Delegates to the `fig11_l1` figure in [`s64v_harness::figures`];
+//! point construction and rendering live there, execution (parallel,
+//! cached, crash-isolated) in the campaign engine.
 
 fn main() {
-    let opts = HarnessOpts::from_env();
-    banner(
-        "Figure 11 — L1 cache: latency vs volume",
-        "§4.3.3, Fig 11",
-        "TPC-C loses ≈ 2.0% IPC on the small fast L1; SPEC nearly neutral",
-    );
-    let big = SystemConfig::sparc64_v();
-    let small = big.clone().with_mem(big.mem.clone().with_small_l1());
-    let base = run_up_suites(&big, &opts);
-    let alt = run_up_suites(&small, &opts);
-    let rows: Vec<_> = base.into_iter().zip(alt).collect();
-    s64v_bench::emit(
-        "fig11_l1",
-        &ipc_ratio_table("128k-2w.4c", "32k-1w.3c", &rows),
-    );
+    s64v_bench::figure_main("fig11_l1");
 }

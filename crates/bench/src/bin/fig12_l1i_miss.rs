@@ -1,35 +1,9 @@
 //! E-12: Figure 12 — L1 instruction cache miss ratios for the two L1s.
-
-use s64v_bench::{banner, run_up_suites, HarnessOpts};
-use s64v_core::report::ratio_table;
-use s64v_core::SystemConfig;
+//!
+//! Delegates to the `fig12_l1i_miss` figure in [`s64v_harness::figures`];
+//! point construction and rendering live there, execution (parallel,
+//! cached, crash-isolated) in the campaign engine.
 
 fn main() {
-    let opts = HarnessOpts::from_env();
-    banner(
-        "Figure 12 — L1 instruction cache miss",
-        "§4.3.3, Fig 12",
-        "TPC-C: 32k-1w instruction miss rate ≈ 99% greater than 128k-2w",
-    );
-    let big_cfg = SystemConfig::sparc64_v();
-    let small_cfg = big_cfg
-        .clone()
-        .with_mem(big_cfg.mem.clone().with_small_l1());
-    let big = run_up_suites(&big_cfg, &opts);
-    let small = run_up_suites(&small_cfg, &opts);
-    let t = ratio_table(
-        "L1I miss %",
-        &[("128k-2w.4c", &big), ("32k-1w.3c", &small)],
-        |s| s.l1i_miss().percent(),
-    );
-    s64v_bench::emit("fig12_l1i_miss", &t);
-    for (b, s) in big.iter().zip(&small) {
-        if b.l1i_miss().value() > 0.0 {
-            println!(
-                "{}: small-cache I-miss {:+.0}% vs large",
-                b.label,
-                (s.l1i_miss().value() / b.l1i_miss().value() - 1.0) * 100.0
-            );
-        }
-    }
+    s64v_bench::figure_main("fig12_l1i_miss");
 }

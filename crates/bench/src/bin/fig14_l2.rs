@@ -1,56 +1,10 @@
 //! E-14: Figure 14 — L2: on-chip 2 MB 4-way vs off-chip 8 MB (2-way and
 //! direct mapped), including the TPC-C SMP model.
-
-use s64v_bench::{banner, run_smp, run_up_suites, HarnessOpts};
-use s64v_core::experiment::SuiteResult;
-use s64v_core::SystemConfig;
-use s64v_stats::Table;
+//!
+//! Delegates to the `fig14_l2` figure in [`s64v_harness::figures`];
+//! point construction and rendering live there, execution (parallel,
+//! cached, crash-isolated) in the campaign engine.
 
 fn main() {
-    let opts = HarnessOpts::from_env();
-    banner(
-        "Figure 14 — L2 cache: latency vs volume",
-        "§4.3.4, Fig 14",
-        "off.8m-1w ≈ −14% (TPC-C UP) / −12.4% (16P); off.8m-2w slightly above on.2m-4w",
-    );
-    let on = SystemConfig::sparc64_v();
-    let off2 = on.clone().with_mem(on.mem.clone().with_off_chip_l2_2way());
-    let off1 = on
-        .clone()
-        .with_mem(on.mem.clone().with_off_chip_l2_direct());
-
-    let mut results: Vec<(String, Vec<SuiteResult>)> = Vec::new();
-    for (name, cfg) in [
-        ("on.2m-4w", &on),
-        ("off.8m-2w", &off2),
-        ("off.8m-1w", &off1),
-    ] {
-        let mut rows = run_up_suites(cfg, &opts);
-        rows.push(run_smp(cfg, &opts));
-        results.push((name.to_string(), rows));
-    }
-
-    let labels: Vec<String> = results[0].1.iter().map(|s| s.label.clone()).collect();
-    let mut t = Table::with_headers(&[
-        "workload",
-        "on.2m-4w IPC",
-        "off.8m-2w IPC",
-        "off.8m-1w IPC",
-        "off.8m-2w %",
-        "off.8m-1w %",
-    ]);
-    for (i, label) in labels.iter().enumerate() {
-        let base = results[0].1[i].ipc();
-        let o2 = results[1].1[i].ipc();
-        let o1 = results[2].1[i].ipc();
-        t.row(vec![
-            label.clone(),
-            format!("{base:.3}"),
-            format!("{o2:.3}"),
-            format!("{o1:.3}"),
-            format!("{:.1}", o2 / base * 100.0),
-            format!("{:.1}", o1 / base * 100.0),
-        ]);
-    }
-    s64v_bench::emit("fig14_l2", &t);
+    s64v_bench::figure_main("fig14_l2");
 }

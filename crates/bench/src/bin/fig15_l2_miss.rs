@@ -1,36 +1,9 @@
 //! E-15: Figure 15 — L2 miss ratios for the three L2 designs.
-
-use s64v_bench::{banner, run_smp, run_up_suites, HarnessOpts};
-use s64v_core::SystemConfig;
-use s64v_stats::Table;
+//!
+//! Delegates to the `fig15_l2_miss` figure in [`s64v_harness::figures`];
+//! point construction and rendering live there, execution (parallel,
+//! cached, crash-isolated) in the campaign engine.
 
 fn main() {
-    let opts = HarnessOpts::from_env();
-    banner(
-        "Figure 15 — L2 cache miss",
-        "§4.3.4, Fig 15",
-        "the 8 MB off-chip designs miss less (esp. TPC-C); direct mapping gives some back",
-    );
-    let on = SystemConfig::sparc64_v();
-    let off2 = on.clone().with_mem(on.mem.clone().with_off_chip_l2_2way());
-    let off1 = on
-        .clone()
-        .with_mem(on.mem.clone().with_off_chip_l2_direct());
-
-    let mut series = Vec::new();
-    for cfg in [&on, &off2, &off1] {
-        let mut rows = run_up_suites(cfg, &opts);
-        rows.push(run_smp(cfg, &opts));
-        series.push(rows);
-    }
-    let mut t = Table::with_headers(&["workload", "on.2m-4w %", "off.8m-2w %", "off.8m-1w %"]);
-    for ((on_r, off2_r), off1_r) in series[0].iter().zip(&series[1]).zip(&series[2]) {
-        t.row(vec![
-            on_r.label.clone(),
-            format!("{:.3}", on_r.l2_demand_miss().percent()),
-            format!("{:.3}", off2_r.l2_demand_miss().percent()),
-            format!("{:.3}", off1_r.l2_demand_miss().percent()),
-        ]);
-    }
-    s64v_bench::emit("fig15_l2_miss", &t);
+    s64v_bench::figure_main("fig15_l2_miss");
 }

@@ -1,20 +1,9 @@
 //! E-16: Figure 16 — hardware prefetching impact (IPC vs non-prefetch).
-
-use s64v_bench::{banner, run_up_suites, HarnessOpts};
-use s64v_core::report::ipc_ratio_table;
-use s64v_core::SystemConfig;
+//!
+//! Delegates to the `fig16_prefetch` figure in [`s64v_harness::figures`];
+//! point construction and rendering live there, execution (parallel,
+//! cached, crash-isolated) in the campaign engine.
 
 fn main() {
-    let opts = HarnessOpts::from_env();
-    banner(
-        "Figure 16 — Hardware prefetching impact",
-        "§4.3.5, Fig 16",
-        "SPECfp gains > 13% IPC (chain access pattern); int/TPC-C gain modestly",
-    );
-    let with = SystemConfig::sparc64_v();
-    let without = with.clone().with_mem(with.mem.clone().without_prefetch());
-    let base = run_up_suites(&without, &opts);
-    let alt = run_up_suites(&with, &opts);
-    let rows: Vec<_> = base.into_iter().zip(alt).collect();
-    s64v_bench::emit("fig16_prefetch", &ipc_ratio_table("without", "with", &rows));
+    s64v_bench::figure_main("fig16_prefetch");
 }

@@ -1,33 +1,11 @@
 //! E-17: Figure 17 — prefetching and the L2 miss ratio: "with" (all
 //! requests), "with-Demand" (demand requests in the prefetch model) and
 //! "without".
-
-use s64v_bench::{banner, run_up_suites, HarnessOpts};
-use s64v_core::SystemConfig;
-use s64v_stats::Table;
+//!
+//! Delegates to the `fig17_prefetch_miss` figure in [`s64v_harness::figures`];
+//! point construction and rendering live there, execution (parallel,
+//! cached, crash-isolated) in the campaign engine.
 
 fn main() {
-    let opts = HarnessOpts::from_env();
-    banner(
-        "Figure 17 — Hardware prefetching: L2 cache miss",
-        "§4.3.5, Fig 17",
-        "with-Demand < without (prefetch removes demand misses); with > with-Demand shows useless prefetches",
-    );
-    let with_cfg = SystemConfig::sparc64_v();
-    let without_cfg = with_cfg
-        .clone()
-        .with_mem(with_cfg.mem.clone().without_prefetch());
-    let with = run_up_suites(&with_cfg, &opts);
-    let without = run_up_suites(&without_cfg, &opts);
-
-    let mut t = Table::with_headers(&["workload", "with %", "with-Demand %", "without %"]);
-    for (w, wo) in with.iter().zip(&without) {
-        t.row(vec![
-            w.label.clone(),
-            format!("{:.3}", w.l2_all_miss().percent()),
-            format!("{:.3}", w.l2_demand_miss().percent()),
-            format!("{:.3}", wo.l2_demand_miss().percent()),
-        ]);
-    }
-    s64v_bench::emit("fig17_prefetch_miss", &t);
+    s64v_bench::figure_main("fig17_prefetch_miss");
 }

@@ -1,23 +1,9 @@
 //! E-18: Figure 18 — reservation stations: pooled "1RS" vs split "2RS".
-
-use s64v_bench::{banner, run_up_suites, HarnessOpts};
-use s64v_core::report::ipc_ratio_table;
-use s64v_core::SystemConfig;
+//!
+//! Delegates to the `fig18_rs` figure in [`s64v_harness::figures`];
+//! point construction and rendering live there, execution (parallel,
+//! cached, crash-isolated) in the campaign engine.
 
 fn main() {
-    let opts = HarnessOpts::from_env();
-    banner(
-        "Figure 18 — Reservation station: 1RS vs 2RS",
-        "§4.4.1, Fig 18",
-        "2RS slightly below 1RS (≈ 1–2%); the simpler structure was adopted anyway",
-    );
-    let one_rs = SystemConfig::sparc64_v();
-    let one_rs = one_rs
-        .clone()
-        .with_core(one_rs.core.clone().with_unified_rs());
-    let two_rs = SystemConfig::sparc64_v();
-    let base = run_up_suites(&one_rs, &opts);
-    let alt = run_up_suites(&two_rs, &opts);
-    let rows: Vec<_> = base.into_iter().zip(alt).collect();
-    s64v_bench::emit("fig18_rs", &ipc_ratio_table("1RS", "2RS", &rows));
+    s64v_bench::figure_main("fig18_rs");
 }

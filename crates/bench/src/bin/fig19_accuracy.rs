@@ -1,56 +1,11 @@
 //! E-19: Figure 19 — performance-model accuracy: the version ladder's
 //! estimates (upper graph) and error versus the reconstructed "physical
 //! machine" (lower graph), on SPEC CPU2000.
-
-use s64v_bench::{banner, HarnessOpts};
-use s64v_core::accuracy::version_study_warm;
-use s64v_core::SystemConfig;
-use s64v_stats::Table;
-use s64v_trace::VecTrace;
-use s64v_workloads::{Suite, SuiteKind};
+//!
+//! Delegates to the `fig19_accuracy` figure in [`s64v_harness::figures`];
+//! point construction and rendering live there, execution (parallel,
+//! cached, crash-isolated) in the campaign engine.
 
 fn main() {
-    let opts = HarnessOpts::from_env();
-    banner(
-        "Figure 19 — Performance model accuracy",
-        "§5, Fig 19",
-        "estimates decrease v1→v8 except an upward blip at v5; final error < 5% (4.2% int / 3.9% fp)",
-    );
-
-    let collect = |kind: SuiteKind| -> Vec<(String, VecTrace)> {
-        Suite::preset(kind)
-            .programs()
-            .iter()
-            .map(|p| {
-                (
-                    p.name().to_string(),
-                    p.generate(opts.records + opts.warmup, opts.seed),
-                )
-            })
-            .collect()
-    };
-    // The paper's final validation used SPEC CPU2000.
-    for kind in [SuiteKind::SpecInt2000, SuiteKind::SpecFp2000] {
-        let workloads = collect(kind);
-        let study = version_study_warm(&SystemConfig::sparc64_v(), &workloads, opts.warmup);
-        let mut t = Table::with_headers(&["version", "perf ratio to v8", "error vs machine %"]);
-        for e in &study {
-            t.row(vec![
-                e.version.to_string(),
-                format!("{:.3}", e.perf_ratio_to_v8),
-                format!("{:.2}", e.error_vs_machine_percent),
-            ]);
-        }
-        println!("--- {} ---", kind.label());
-        s64v_bench::emit(&format!("fig19_accuracy_{}", kind.label()), &t);
-        let v5_up = study[4].perf_ratio_to_v8 > study[3].perf_ratio_to_v8;
-        println!(
-            "v5 blip (estimate rises when specials get detailed modeling): {}",
-            if v5_up {
-                "reproduced"
-            } else {
-                "NOT reproduced"
-            }
-        );
-    }
+    s64v_bench::figure_main("fig19_accuracy");
 }

@@ -1,61 +1,11 @@
 //! Seed-stability check: re-runs the headline figure comparisons over
 //! several generator seeds and reports the spread — the conclusions must
 //! not hinge on one lucky trace.
-
-use s64v_bench::{banner, HarnessOpts};
-use s64v_core::stability::seed_study_ratio;
-use s64v_core::SystemConfig;
-use s64v_stats::Table;
-use s64v_workloads::{Suite, SuiteKind};
+//!
+//! Delegates to the `stability` figure in [`s64v_harness::figures`];
+//! point construction and rendering live there, execution (parallel,
+//! cached, crash-isolated) in the campaign engine.
 
 fn main() {
-    let opts = HarnessOpts::from_env();
-    let seeds: Vec<u64> = (0..5).map(|i| opts.seed + i * 101).collect();
-    banner(
-        "Seed stability of the headline comparisons",
-        "methodology",
-        "every figure's winner keeps winning on every seed (min/max straddle no 1.0)",
-    );
-    let base = SystemConfig::sparc64_v();
-    let small_bht = base.clone().with_core(base.core.clone().with_small_bht());
-    let no_pf = base.clone().with_mem(base.mem.clone().without_prefetch());
-    let off1 = base
-        .clone()
-        .with_mem(base.mem.clone().with_off_chip_l2_direct());
-
-    let records = opts.records / 2;
-    let warmup = opts.warmup / 2;
-    let tpcc = Suite::preset(SuiteKind::Tpcc);
-    let fp = Suite::preset(SuiteKind::SpecFp95);
-
-    let mut t = Table::with_headers(&["comparison (alt/base IPC)", "mean", "stddev", "min", "max"]);
-    let mut row = |name: &str, s: s64v_core::SeedStudy| {
-        t.row(vec![
-            name.to_string(),
-            format!("{:.3}", s.mean),
-            format!("{:.4}", s.stddev),
-            format!("{:.3}", s.min),
-            format!("{:.3}", s.max),
-        ]);
-    };
-    row(
-        "TPC-C: 4k-BHT / 16k-BHT",
-        seed_study_ratio(
-            &base,
-            &small_bht,
-            &tpcc.programs()[0],
-            records,
-            warmup,
-            &seeds,
-        ),
-    );
-    row(
-        "SPECfp(swim): prefetch / none",
-        seed_study_ratio(&no_pf, &base, &fp.programs()[1], records, warmup, &seeds),
-    );
-    row(
-        "TPC-C: off.8m-1w / on.2m-4w",
-        seed_study_ratio(&base, &off1, &tpcc.programs()[0], records, warmup, &seeds),
-    );
-    s64v_bench::emit("stability", &t);
+    s64v_bench::figure_main("stability");
 }

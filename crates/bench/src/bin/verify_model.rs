@@ -1,49 +1,11 @@
 //! Model verification (§2.2's performance-test loop): cross-checks the
 //! detailed out-of-order model against the independent scalar reference
 //! machine on every workload.
-
-use s64v_bench::{banner, HarnessOpts, UP_SUITES};
-use s64v_core::experiment::parallel_map;
-use s64v_core::{compare, SystemConfig};
-use s64v_stats::Table;
-use s64v_workloads::Suite;
+//!
+//! Delegates to the `verify_model` figure in [`s64v_harness::figures`];
+//! point construction and rendering live there, execution (parallel,
+//! cached, crash-isolated) in the campaign engine.
 
 fn main() {
-    let opts = HarnessOpts::from_env();
-    banner(
-        "Model verification — detailed model vs scalar reference",
-        "§2.2 (logic-simulator cross-check analogue)",
-        "identical architectural work; the out-of-order model is never slower",
-    );
-    let config = SystemConfig::sparc64_v();
-    let mut t = Table::with_headers(&[
-        "workload",
-        "model cycles",
-        "reference cycles",
-        "speedup",
-        "verdict",
-    ]);
-    let mut all_ok = true;
-    for kind in UP_SUITES {
-        let suite = Suite::preset(kind);
-        let checks = parallel_map(suite.programs(), |p| {
-            let trace = p.generate(opts.records + opts.warmup, opts.seed);
-            compare(&config, &trace, opts.warmup)
-        });
-        let model: u64 = checks.iter().map(|c| c.model_cycles).sum();
-        let reference: u64 = checks.iter().map(|c| c.reference_cycles).sum();
-        let ok = checks.iter().all(|c| c.passed());
-        all_ok &= ok;
-        t.row(vec![
-            kind.label().to_string(),
-            model.to_string(),
-            reference.to_string(),
-            format!("{:.2}x", reference as f64 / model.max(1) as f64),
-            if ok { "ok".into() } else { "MISMATCH".into() },
-        ]);
-    }
-    s64v_bench::emit("verify_model", &t);
-    if !all_ok {
-        std::process::exit(1);
-    }
+    s64v_bench::figure_main("verify_model");
 }

@@ -1,90 +1,28 @@
 //! Shared plumbing for the figure-harness binaries.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the
-//! paper's evaluation (see `DESIGN.md`'s experiment index). They all run
-//! the same workload set through [`s64v_core`]'s suite runners and print
-//! the rows the paper plots; run sizes are controlled by environment
-//! variables so CI smoke runs and full reproductions share one binary:
+//! paper's evaluation (see `DESIGN.md`'s experiment index). The binaries
+//! that simulate delegate to the campaign engine in [`s64v_harness`]
+//! through [`figure_main`], which gives each of them parallel execution,
+//! result caching and crash isolation for free; run sizes come from the
+//! same `S64V_*` environment variables as before (see
+//! [`HarnessOpts`]), and engine knobs (`S64V_THREADS`,
+//! `S64V_CACHE_DIR`, `S64V_NO_CACHE`) from
+//! [`s64v_harness::EngineOpts`].
 //!
-//! | variable | meaning | default |
-//! |---|---|---|
-//! | `S64V_RECORDS` | timed records per program | 150000 |
-//! | `S64V_WARMUP` | warm-up records per program | 2000000 |
-//! | `S64V_SMP_CPUS` | CPUs in the TPC-C SMP model | 16 |
-//! | `S64V_SMP_RECORDS` | timed records per CPU (SMP) | 60000 |
-//! | `S64V_SMP_WARMUP` | warm-up records per CPU (SMP) | 600000 |
-//! | `S64V_SEED` | base RNG seed | 42 |
+//! [`run_up_suites`] and [`run_smp`] remain as the *sequential
+//! reference path*: a plain, engine-free way to run the same workloads,
+//! kept so integration tests can check the campaign engine against an
+//! independent implementation.
 
 use s64v_core::experiment::{run_suite_warm, run_tpcc_smp_warm, SuiteResult};
 use s64v_core::SystemConfig;
-use s64v_workloads::SuiteKind;
 
-/// Run sizes for a harness invocation.
-#[derive(Debug, Clone, Copy)]
-pub struct HarnessOpts {
-    /// Timed records per uniprocessor program.
-    pub records: usize,
-    /// Warm-up records per uniprocessor program.
-    pub warmup: usize,
-    /// CPUs in the TPC-C SMP model.
-    pub smp_cpus: usize,
-    /// Timed records per CPU in the SMP model.
-    pub smp_records: usize,
-    /// Warm-up records per CPU in the SMP model.
-    pub smp_warmup: usize,
-    /// Base seed.
-    pub seed: u64,
-}
+pub use s64v_harness::figures::UP_SUITES;
+pub use s64v_harness::{banner, emit, EngineOpts, HarnessOpts};
 
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-impl HarnessOpts {
-    /// Reads options from the environment (see the crate docs).
-    pub fn from_env() -> Self {
-        HarnessOpts {
-            records: env_usize("S64V_RECORDS", 150_000),
-            warmup: env_usize("S64V_WARMUP", 2_000_000),
-            smp_cpus: env_usize("S64V_SMP_CPUS", 16),
-            smp_records: env_usize("S64V_SMP_RECORDS", 60_000),
-            smp_warmup: env_usize("S64V_SMP_WARMUP", 600_000),
-            seed: env_usize("S64V_SEED", 42) as u64,
-        }
-    }
-
-    /// Small sizes for smoke tests.
-    pub fn smoke() -> Self {
-        HarnessOpts {
-            records: 8_000,
-            warmup: 40_000,
-            smp_cpus: 2,
-            smp_records: 4_000,
-            smp_warmup: 20_000,
-            seed: 42,
-        }
-    }
-}
-
-impl Default for HarnessOpts {
-    fn default() -> Self {
-        Self::from_env()
-    }
-}
-
-/// The five uniprocessor workloads in the paper's reporting order.
-pub const UP_SUITES: [SuiteKind; 5] = [
-    SuiteKind::SpecInt95,
-    SuiteKind::SpecFp95,
-    SuiteKind::SpecInt2000,
-    SuiteKind::SpecFp2000,
-    SuiteKind::Tpcc,
-];
-
-/// Runs every uniprocessor suite on `config`.
+/// Runs every uniprocessor suite on `config`, sequentially and without
+/// the campaign engine (reference path; see the crate docs).
 pub fn run_up_suites(config: &SystemConfig, opts: &HarnessOpts) -> Vec<SuiteResult> {
     UP_SUITES
         .iter()
@@ -92,7 +30,8 @@ pub fn run_up_suites(config: &SystemConfig, opts: &HarnessOpts) -> Vec<SuiteResu
         .collect()
 }
 
-/// Runs the TPC-C SMP model on `config` (overriding its CPU count).
+/// Runs the TPC-C SMP model on `config` (overriding its CPU count),
+/// without the campaign engine (reference path; see the crate docs).
 pub fn run_smp(config: &SystemConfig, opts: &HarnessOpts) -> SuiteResult {
     let cfg = SystemConfig {
         cpus: opts.smp_cpus,
@@ -101,25 +40,31 @@ pub fn run_smp(config: &SystemConfig, opts: &HarnessOpts) -> SuiteResult {
     run_tpcc_smp_warm(&cfg, opts.smp_records, opts.smp_warmup, opts.seed)
 }
 
-/// Prints a table and also writes it as CSV under `results/` (best
-/// effort — the directory is created if missing; failures only warn).
-pub fn emit(name: &str, table: &s64v_stats::Table) {
-    print!("{table}");
-    let dir = std::path::Path::new("results");
-    if std::fs::create_dir_all(dir).is_ok() {
-        let path = dir.join(format!("{name}.csv"));
-        if let Err(e) = std::fs::write(&path, table.to_csv()) {
-            eprintln!("warning: could not write {}: {e}", path.display());
+/// Runs one registered figure through the campaign engine and exits with
+/// its status: 0 when every point simulated and the figure rendered,
+/// 1 when any point or the render failed, 2 on engine I/O errors.
+///
+/// This is the whole body of each per-figure binary; everything they
+/// used to duplicate (suite loops, ratio tables, CSV emission) lives in
+/// [`s64v_harness::figures`] now.
+pub fn figure_main(name: &str) -> ! {
+    let opts = HarnessOpts::from_env();
+    let engine = EngineOpts::from_env();
+    match s64v_harness::run_figures(&[name], &opts, &engine, None) {
+        Ok(summary) => {
+            for (label, error) in &summary.point_failures {
+                eprintln!("failed point: {label}: {error}");
+            }
+            for (fig, reason) in &summary.render_failures {
+                eprintln!("figure {fig} did not render: {reason}");
+            }
+            std::process::exit(if summary.all_ok() { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("campaign error: {e}");
+            std::process::exit(2);
         }
     }
-}
-
-/// Prints the standard harness header for one experiment.
-pub fn banner(experiment: &str, paper_ref: &str, expectation: &str) {
-    println!("================================================================");
-    println!("{experiment}  [{paper_ref}]");
-    println!("paper expectation: {expectation}");
-    println!("================================================================");
 }
 
 #[cfg(test)]

@@ -16,8 +16,9 @@ fn main() {
         let t = p.generate(40_000, 2026);
         let r = model.run_trace_warm(&t, 30_000);
         println!(
-            "({:?}, {}, {}, {}, {}, {}),",
+            "({:?}, {}, {}, {}, {}, {}, {}),",
             kind,
+            idx,
             r.cycles,
             r.committed,
             r.mem_stats[0].l1d.misses.get(),

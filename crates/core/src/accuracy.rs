@@ -34,8 +34,10 @@ pub struct VersionEstimate {
 }
 
 /// Deterministic per-program residual in `[-max, +max]` modeling what the
-/// final software model still misses versus silicon.
-fn machine_residual(name: &str, max: f64) -> f64 {
+/// final software model still misses versus silicon. Public so external
+/// executors (the campaign engine) can reconstruct the same "machine"
+/// from cached per-version cycle counts.
+pub fn machine_residual(name: &str, max: f64) -> f64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in name.bytes() {
         h ^= b as u64;

@@ -6,10 +6,10 @@
 
 use crate::model::PerformanceModel;
 use crate::system::{RunResult, SystemConfig};
-use parking_lot::Mutex;
 use s64v_stats::Ratio;
 use s64v_workloads::{smp_traces, suite::tpcc_program, Suite, SuiteKind};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Runs `f` over `items` on a small thread pool, preserving order.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
@@ -24,22 +24,25 @@ where
         .min(items.len().max(1));
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
                 let r = f(&items[i]);
-                *slots[i].lock() = Some(r);
+                *slots[i].lock().expect("slot lock poisoned") = Some(r);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     slots
         .into_iter()
-        .map(|s| s.into_inner().expect("every slot filled"))
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock poisoned")
+                .expect("every slot filled")
+        })
         .collect()
 }
 
@@ -122,7 +125,7 @@ pub fn run_suite_warm(
     let suite = Suite::preset(kind);
     let model = PerformanceModel::new(config.clone());
     let programs = parallel_map(suite.programs(), |p| {
-        let trace = p.generate(records + warmup, seed ^ fxhash(p.name()));
+        let trace = p.generate(records + warmup, program_seed(seed, p.name()));
         ProgramResult {
             name: p.name().to_string(),
             result: model.run_trace_warm(&trace, warmup),
@@ -164,12 +167,16 @@ pub fn run_tpcc_smp(config: &SystemConfig, records_per_cpu: usize, seed: u64) ->
     run_tpcc_smp_warm(config, records_per_cpu, DEFAULT_WARMUP, seed)
 }
 
-fn fxhash(s: &str) -> u64 {
+/// The trace seed [`run_suite_warm`] derives for one program: the base
+/// campaign seed XORed with a hash of the program name, so every program
+/// in a suite gets an independent stream. Exposed so other executors (the
+/// `s64v-harness` campaign engine) reproduce suite runs point-for-point.
+pub fn program_seed(base_seed: u64, program_name: &str) -> u64 {
     let mut h: u64 = 0x517c_c1b7_2722_0a95;
-    for b in s.bytes() {
+    for b in program_name.bytes() {
         h = (h.rotate_left(5) ^ b as u64).wrapping_mul(0x27220a95);
     }
-    h
+    base_seed ^ h
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@
 pub mod accuracy;
 pub mod breakdown;
 pub mod experiment;
+pub mod fingerprint;
 pub mod model;
 pub mod reference;
 pub mod report;
@@ -33,8 +34,10 @@ pub mod versions;
 
 pub use breakdown::{characterize, characterize_warm, Breakdown};
 pub use experiment::{
-    run_suite, run_suite_warm, run_tpcc_smp, run_tpcc_smp_warm, ProgramResult, SuiteResult,
+    program_seed, run_suite, run_suite_warm, run_tpcc_smp, run_tpcc_smp_warm, ProgramResult,
+    SuiteResult,
 };
+pub use fingerprint::{config_fingerprint, Fingerprint, StableHasher, MODEL_FINGERPRINT_VERSION};
 pub use model::PerformanceModel;
 pub use reference::{compare, ModelCheck, ReferenceMachine};
 pub use stability::{seed_study, seed_study_ratio, SeedStudy};

@@ -3,11 +3,10 @@
 use s64v_cpu::{CoreConfig, CoreStats};
 use s64v_mem::{MemConfig, MemStats};
 use s64v_stats::Ratio;
-use serde::{Deserialize, Serialize};
 
 /// The full system: core configuration, memory configuration and CPU
 /// count.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Per-core pipeline configuration.
     pub core: CoreConfig,

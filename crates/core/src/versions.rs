@@ -13,14 +13,13 @@
 //! real constraints until v8 is the full-detail model.
 
 use crate::system::SystemConfig;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The crude special-instruction penalty used before v5 (cycles).
 pub const EXPERIMENTAL_SPECIAL_PENALTY: u32 = 40;
 
 /// A development version of the performance model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ModelVersion {
     /// Initial model: idealized memory queuing, no bank conflicts, huge
     /// window-side resources, perfect TLB, crude special-op penalty.

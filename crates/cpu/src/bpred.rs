@@ -11,10 +11,8 @@
 //! Direction state is the classic 2-bit saturating counter; untracked
 //! branches fall back to backward-taken/forward-not-taken.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry and access latency of a branch history table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BhtConfig {
     /// Total entries.
     pub entries: u32,

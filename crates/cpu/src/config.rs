@@ -2,10 +2,9 @@
 
 use crate::bpred::BhtConfig;
 use s64v_isa::LatencyTable;
-use serde::{Deserialize, Serialize};
 
 /// How the execution-side reservation stations are organized (§4.4.1).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum RsScheme {
     /// The shipped design ("2RS"): two buffers per side, each hard-wired to
     /// one execution unit, one dispatch per buffer per cycle.
@@ -20,7 +19,7 @@ pub enum RsScheme {
 ///
 /// [`CoreConfig::sparc64_v`] reproduces Table 1; `with_*` methods derive
 /// the design points of Figures 8, 9 and 18.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoreConfig {
     /// Decode (issue) width per cycle — 4 on the SPARC64 V.
     pub issue_width: u32,

@@ -196,6 +196,11 @@ impl Core {
             .sq_occupancy
             .record(self.lsq.stores_in_flight() as u64);
 
+        if self.rob.is_empty() {
+            // An empty window makes no commits by construction; only count
+            // wedge time while instructions are actually stuck in flight.
+            self.last_commit_cycle = now;
+        }
         if !self.rob.is_empty() && now.saturating_sub(self.last_commit_cycle) > DEADLOCK_HORIZON {
             panic!(
                 "core {} wedged at cycle {now}: head {:?}",
@@ -838,7 +843,12 @@ impl Core {
             // instructions themselves are squashed (never decoded).
             if self.cfg.wrong_path_fetch && now >= self.next_fetch_at {
                 let pc = self.wrong_path_pc;
-                mem.fetch(self.core_id, pc, now + 1);
+                let access = mem.fetch(self.core_id, pc, now + 1);
+                // One wrong-path block in flight at a time: the next block
+                // waits for this fill, like the demand path. Without this
+                // pacing a long stall floods the memory system with one
+                // miss per cycle and the backlog never drains.
+                self.next_fetch_at = access.ready_at;
                 self.wrong_path_pc = pc + self.cfg.fetch_block_bytes;
                 self.stats.wrong_path_fetches.incr();
             }

@@ -11,10 +11,9 @@
 //! external reference) can be diffed event by event.
 
 use s64v_isa::OpClass;
-use serde::{Deserialize, Serialize};
 
 /// Stage timestamps for one dynamic instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InstrTimeline {
     /// Program-order sequence number.
     pub seq: u64,

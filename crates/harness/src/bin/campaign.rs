@@ -1,0 +1,135 @@
+//! End-to-end campaign driver: every figure through the engine.
+//!
+//! ```text
+//! campaign [--figures all|name,name,...] [--threads N]
+//!          [--cache-dir DIR] [--no-cache] [--quiet] [--list]
+//! ```
+//!
+//! Run sizes come from the usual `S64V_*` environment variables;
+//! `--threads`/`--cache-dir`/`--no-cache` override `S64V_THREADS`,
+//! `S64V_CACHE_DIR` and `S64V_NO_CACHE`. Exits nonzero if any point
+//! failed to simulate or any figure failed to render (including a model
+//! verification mismatch).
+
+use s64v_harness::figures::{figure_names, run_figures, EngineOpts};
+use s64v_harness::progress::ProgressEvent;
+use s64v_harness::spec::HarnessOpts;
+use std::sync::mpsc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign [--figures all|name,name,...] [--threads N]\n\
+         \x20               [--cache-dir DIR] [--no-cache] [--quiet] [--list]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut figures_arg = "all".to_string();
+    let mut engine = EngineOpts::from_env();
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--figures" => figures_arg = args.next().unwrap_or_else(|| usage()),
+            "--threads" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                engine.threads = Some(n.max(1));
+            }
+            "--cache-dir" => {
+                engine.cache_dir = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
+            "--no-cache" => engine.cache_dir = None,
+            "--quiet" => quiet = true,
+            "--list" => {
+                for name in figure_names() {
+                    println!("{name}");
+                }
+                return;
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let names: Vec<&'static str> = if figures_arg == "all" {
+        figure_names()
+    } else {
+        let all = figure_names();
+        figures_arg
+            .split(',')
+            .map(|want| {
+                all.iter()
+                    .copied()
+                    .find(|n| *n == want.trim())
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown figure: {want} (try --list)");
+                        std::process::exit(2);
+                    })
+            })
+            .collect()
+    };
+
+    let opts = HarnessOpts::from_env();
+    let (tx, rx) = mpsc::channel::<ProgressEvent>();
+    let printer = std::thread::spawn(move || {
+        let mut done = 0usize;
+        for event in rx {
+            if quiet {
+                continue;
+            }
+            match event {
+                ProgressEvent::Started { .. } => {}
+                ProgressEvent::Finished {
+                    label,
+                    cache_hit,
+                    elapsed,
+                    ..
+                } => {
+                    done += 1;
+                    if cache_hit {
+                        eprintln!("[{done:>4}] cached   {label}");
+                    } else {
+                        eprintln!("[{done:>4}] {:>6.1}s  {label}", elapsed.as_secs_f64());
+                    }
+                }
+                ProgressEvent::Failed { label, error, .. } => {
+                    done += 1;
+                    eprintln!("[{done:>4}] FAILED   {label}: {error}");
+                }
+            }
+        }
+    });
+
+    let outcome = run_figures(&names, &opts, &engine, Some(tx));
+    printer.join().expect("progress printer panicked");
+
+    let summary = match outcome {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("campaign error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!("campaign: {}", summary.report.summary());
+    for (label, error) in &summary.point_failures {
+        eprintln!("failed point: {label}: {error}");
+    }
+    for f in &summary.prior_failures {
+        eprintln!(
+            "unresolved failure from a previous run: {}: {}",
+            f.label, f.error
+        );
+    }
+    for (name, reason) in &summary.render_failures {
+        eprintln!("figure {name} did not render: {reason}");
+    }
+    if !summary.all_ok() {
+        std::process::exit(1);
+    }
+}

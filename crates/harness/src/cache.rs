@@ -1,0 +1,181 @@
+//! Content-addressed on-disk result cache.
+//!
+//! One file per point, named by the point's fingerprint, holding the
+//! [`PointMetrics`] as versioned `key: value` text. The format is
+//! deliberately boring: human-inspectable, diff-able, and tolerant —
+//! any file that fails to parse (truncated write, format change) is
+//! treated as a miss and re-simulated, never an error.
+//!
+//! Staleness never needs detection here: the fingerprint covers the
+//! configuration, workload, seed, lengths and model version, so a stale
+//! result is simply a file nobody looks up any more.
+
+use crate::spec::PointMetrics;
+use s64v_core::fingerprint::Fingerprint;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Format tag written as the first line of every cache file.
+const FORMAT: &str = "s64v-point v1";
+
+/// Handle on a cache directory.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache directory.
+    pub fn open(dir: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        Ok(ResultCache {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The file a fingerprint maps to.
+    pub fn path_of(&self, fp: Fingerprint) -> PathBuf {
+        self.dir.join(format!("{fp}.point"))
+    }
+
+    /// Looks a point up; any unreadable or unparsable file is a miss.
+    pub fn load(&self, fp: Fingerprint) -> Option<PointMetrics> {
+        let text = std::fs::read_to_string(self.path_of(fp)).ok()?;
+        parse(&text)
+    }
+
+    /// Stores a point's metrics. Written via a temporary file and rename
+    /// so a crash mid-write leaves no half-parsable entry.
+    pub fn store(&self, fp: Fingerprint, m: &PointMetrics) -> std::io::Result<()> {
+        let tmp = self.dir.join(format!("{fp}.tmp"));
+        std::fs::write(&tmp, encode(m))?;
+        std::fs::rename(&tmp, self.path_of(fp))
+    }
+}
+
+fn encode(m: &PointMetrics) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{FORMAT}");
+    let _ = writeln!(s, "cycles: {}", m.cycles);
+    let _ = writeln!(s, "committed: {}", m.committed);
+    for (key, (num, den)) in [
+        ("l1i", m.l1i),
+        ("l1d", m.l1d),
+        ("l2_all", m.l2_all),
+        ("l2_demand", m.l2_demand),
+        ("mispredict", m.mispredict),
+    ] {
+        let _ = writeln!(s, "{key}: {num} {den}");
+    }
+    let _ = writeln!(s, "prefetches: {}", m.prefetches);
+    let _ = writeln!(s, "move_outs: {}", m.move_outs);
+    let _ = writeln!(s, "bus_busy_cycles: {}", m.bus_busy_cycles);
+    let _ = writeln!(s, "bus_transactions: {}", m.bus_transactions);
+    // `{:?}` prints the shortest representation that parses back to the
+    // identical f64, so cached and fresh metrics stay bit-equal.
+    let _ = writeln!(s, "mean_load_latency: {:?}", m.mean_load_latency);
+    let stalls: Vec<String> = m.stalls.iter().map(u64::to_string).collect();
+    let _ = writeln!(s, "stalls: {}", stalls.join(" "));
+    let _ = writeln!(s, "reference_cycles: {}", m.reference_cycles);
+    let _ = writeln!(s, "same_work: {}", m.same_work);
+    s
+}
+
+fn parse(text: &str) -> Option<PointMetrics> {
+    let mut lines = text.lines();
+    if lines.next()? != FORMAT {
+        return None;
+    }
+    let mut m = PointMetrics::default();
+    let mut seen = 0u32;
+    for line in lines {
+        let (key, value) = line.split_once(": ")?;
+        match key {
+            "cycles" => m.cycles = value.parse().ok()?,
+            "committed" => m.committed = value.parse().ok()?,
+            "l1i" => m.l1i = parse_pair(value)?,
+            "l1d" => m.l1d = parse_pair(value)?,
+            "l2_all" => m.l2_all = parse_pair(value)?,
+            "l2_demand" => m.l2_demand = parse_pair(value)?,
+            "mispredict" => m.mispredict = parse_pair(value)?,
+            "prefetches" => m.prefetches = value.parse().ok()?,
+            "move_outs" => m.move_outs = value.parse().ok()?,
+            "bus_busy_cycles" => m.bus_busy_cycles = value.parse().ok()?,
+            "bus_transactions" => m.bus_transactions = value.parse().ok()?,
+            "mean_load_latency" => m.mean_load_latency = value.parse().ok()?,
+            "stalls" => {
+                let parts: Vec<u64> = value
+                    .split_whitespace()
+                    .map(|p| p.parse().ok())
+                    .collect::<Option<_>>()?;
+                m.stalls = parts.try_into().ok()?;
+            }
+            "reference_cycles" => m.reference_cycles = value.parse().ok()?,
+            "same_work" => m.same_work = value.parse().ok()?,
+            _ => return None,
+        }
+        seen += 1;
+    }
+    // Every field must be present exactly once.
+    (seen == 15).then_some(m)
+}
+
+fn parse_pair(value: &str) -> Option<(u64, u64)> {
+    let (a, b) = value.split_once(' ')?;
+    Some((a.parse().ok()?, b.parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PointMetrics {
+        PointMetrics {
+            cycles: 123_456,
+            committed: 10_000,
+            l1i: (1, 2),
+            l1d: (3, 4),
+            l2_all: (5, 6),
+            l2_demand: (7, 8),
+            mispredict: (9, 10),
+            prefetches: 11,
+            move_outs: 12,
+            bus_busy_cycles: 13,
+            bus_transactions: 14,
+            mean_load_latency: 3.0625e2,
+            stalls: [1, 2, 3, 4, 5, 6, 7],
+            reference_cycles: 99,
+            same_work: true,
+        }
+    }
+
+    #[test]
+    fn encode_parse_round_trips() {
+        assert_eq!(parse(&encode(&sample())), Some(sample()));
+    }
+
+    #[test]
+    fn malformed_text_is_a_miss() {
+        assert_eq!(parse(""), None);
+        assert_eq!(parse("wrong header\ncycles: 1\n"), None);
+        let truncated: String = encode(&sample()).lines().take(5).collect();
+        assert_eq!(parse(&truncated), None);
+        let tampered = encode(&sample()).replace("cycles:", "cycels:");
+        assert_eq!(parse(&tampered), None);
+    }
+
+    #[test]
+    fn store_and_load_via_directory() {
+        let dir = std::env::temp_dir().join(format!("s64v-cache-test-{}", std::process::id()));
+        let cache = ResultCache::open(&dir).expect("create");
+        let fp = {
+            let mut h = s64v_core::StableHasher::new();
+            h.write_str("cache-test");
+            h.finish()
+        };
+        assert_eq!(cache.load(fp), None);
+        cache.store(fp, &sample()).expect("store");
+        assert_eq!(cache.load(fp), Some(sample()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,393 @@
+//! The campaign execution engine.
+//!
+//! Executes a [`CampaignSpec`]'s points on a pool of worker threads fed
+//! by per-worker work-stealing deques. Results are deterministic by
+//! construction — every point derives all randomness from its own seed
+//! and shares no mutable state — so a campaign produces bit-identical
+//! results on one thread or sixteen; the deques only decide *when* each
+//! point runs, never *what* it computes.
+//!
+//! Per point, in order: consult the content-addressed cache (hit = no
+//! simulation), else simulate under `catch_unwind` so a panicking point
+//! is recorded as failed without taking the campaign down, then store
+//! and journal the outcome.
+
+use crate::cache::ResultCache;
+use crate::journal::{journal_path, FailedPoint, Journal};
+use crate::progress::{CampaignReport, ProgressEvent};
+use crate::spec::{CampaignSpec, PointMetrics, SimPoint, WorkUnit};
+use s64v_core::{compare, PerformanceModel, RunResult};
+use s64v_workloads::{smp_traces, suite::tpcc_program, Suite};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Everything a campaign run produced.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// Per-point metrics, index-aligned with the spec's point list
+    /// (`None` = the point failed).
+    pub results: Vec<Option<PointMetrics>>,
+    /// This run's failures as (point index, panic message).
+    pub failures: Vec<(usize, String)>,
+    /// Failures left in the journal by *previous* runs (resume context;
+    /// empty without a cache directory).
+    pub prior_failures: Vec<FailedPoint>,
+    /// Aggregate counters for the run.
+    pub report: CampaignReport,
+}
+
+/// Per-worker deques with stealing: a worker drains its own deque from
+/// the front and, when empty, takes from the *back* of a neighbour's.
+/// All items are enqueued before the workers start, so one full scan
+/// finding nothing means the campaign is drained.
+struct StealDeques {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl StealDeques {
+    fn new(workers: usize, items: usize) -> Self {
+        let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for i in 0..items {
+            queues[i % workers].push_back(i);
+        }
+        StealDeques {
+            queues: queues.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    fn pop(&self, me: usize) -> Option<usize> {
+        if let Some(i) = self.queues[me].lock().expect("deque poisoned").pop_front() {
+            return Some(i);
+        }
+        for offset in 1..self.queues.len() {
+            let other = (me + offset) % self.queues.len();
+            if let Some(i) = self.queues[other]
+                .lock()
+                .expect("deque poisoned")
+                .pop_back()
+            {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+/// Runs one point to completion. Pure: everything derives from the
+/// point, so equal fingerprints mean equal return values.
+pub fn execute_point(point: &SimPoint) -> PointMetrics {
+    match point.work {
+        WorkUnit::Program { suite, index } => {
+            let programs = Suite::preset(suite);
+            let trace =
+                programs.programs()[index].generate(point.records + point.warmup, point.seed);
+            let model = PerformanceModel::new(point.config.clone());
+            metrics_from(&model.run_trace_warm(&trace, point.warmup))
+        }
+        WorkUnit::SmpTpcc => {
+            let traces = smp_traces(
+                &tpcc_program(),
+                point.config.cpus,
+                point.records + point.warmup,
+                point.seed,
+            );
+            let model = PerformanceModel::new(point.config.clone());
+            metrics_from(&model.run_traces_warm(&traces, point.warmup))
+        }
+        WorkUnit::Verify { suite, index } => {
+            let programs = Suite::preset(suite);
+            let trace =
+                programs.programs()[index].generate(point.records + point.warmup, point.seed);
+            let check = compare(&point.config, &trace, point.warmup);
+            PointMetrics {
+                cycles: check.model_cycles,
+                reference_cycles: check.reference_cycles,
+                same_work: check.passed(),
+                ..PointMetrics::default()
+            }
+        }
+    }
+}
+
+/// Trace records a point covers (warm-up included, all CPUs).
+fn point_records(point: &SimPoint) -> u64 {
+    let per_stream = (point.records + point.warmup) as u64;
+    match point.work {
+        WorkUnit::SmpTpcc => per_stream * point.config.cpus as u64,
+        _ => per_stream,
+    }
+}
+
+/// Flattens a [`RunResult`] into the cacheable metric set.
+fn metrics_from(r: &RunResult) -> PointMetrics {
+    let pair = |ratio: s64v_stats::Ratio| (ratio.numerator(), ratio.denominator());
+    let mut stalls = [0u64; 7];
+    for c in &r.core_stats {
+        let s = &c.stall_cycles;
+        for (slot, counter) in stalls.iter_mut().zip([
+            s.busy,
+            s.l2_miss,
+            s.l1_miss,
+            s.execute,
+            s.dispatch,
+            s.frontend_branch,
+            s.frontend_fetch,
+        ]) {
+            *slot += counter.get();
+        }
+    }
+    PointMetrics {
+        cycles: r.cycles,
+        committed: r.committed,
+        l1i: pair(r.l1i_miss_ratio()),
+        l1d: pair(r.l1d_miss_ratio()),
+        l2_all: pair(r.l2_all_miss_ratio()),
+        l2_demand: pair(r.l2_demand_miss_ratio()),
+        mispredict: pair(r.mispredict_ratio()),
+        prefetches: r.prefetches_issued(),
+        move_outs: r.move_outs(),
+        bus_busy_cycles: r.bus_busy_cycles,
+        bus_transactions: r.bus_transactions,
+        mean_load_latency: r.mean_load_latency(),
+        stalls,
+        reference_cycles: 0,
+        same_work: true,
+    }
+}
+
+/// Executes a campaign and returns every point's metrics.
+///
+/// `progress` receives one event per point transition; pass `None` (or
+/// drop the receiver) to run silently. The error covers only cache or
+/// journal I/O setup — simulation panics are *contained* per point and
+/// reported in the outcome, never returned as errors.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    progress: Option<Sender<ProgressEvent>>,
+) -> std::io::Result<CampaignOutcome> {
+    let start = Instant::now();
+    let cache = match &spec.cache_dir {
+        Some(dir) => Some(ResultCache::open(dir)?),
+        None => None,
+    };
+    let (journal, prior_failures) = match &spec.cache_dir {
+        Some(dir) => {
+            let path = journal_path(dir);
+            let prior = Journal::load(&path).failed;
+            (Some(Journal::open(&path)?), prior)
+        }
+        None => (None, Vec::new()),
+    };
+
+    let workers = spec
+        .threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+        .min(spec.points.len())
+        .max(1);
+    let deques = StealDeques::new(workers, spec.points.len());
+    let slots: Vec<Mutex<Option<Result<PointMetrics, String>>>> =
+        spec.points.iter().map(|_| Mutex::new(None)).collect();
+    let cache_hits = AtomicUsize::new(0);
+    let simulated_records = AtomicU64::new(0);
+
+    // Point panics are caught and reported as failures; the default hook
+    // would additionally spray a backtrace per panic onto stderr, burying
+    // the progress stream under a crashing campaign. Silence it while
+    // workers run (the message still reaches the failure report).
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let deques = &deques;
+            let slots = &slots;
+            let cache = cache.as_ref();
+            let journal = journal.as_ref();
+            let cache_hits = &cache_hits;
+            let simulated_records = &simulated_records;
+            let progress = progress.clone();
+            scope.spawn(move || {
+                while let Some(index) = deques.pop(worker) {
+                    let point = &spec.points[index];
+                    let label = point.label();
+                    let fp = point.fingerprint();
+                    let point_start = Instant::now();
+                    send(&progress, || ProgressEvent::Started {
+                        index,
+                        label: label.clone(),
+                    });
+
+                    if let Some(hit) = cache.and_then(|c| c.load(fp)) {
+                        cache_hits.fetch_add(1, Ordering::Relaxed);
+                        if let Some(j) = journal {
+                            j.record_ok(fp, &label);
+                        }
+                        send(&progress, || ProgressEvent::Finished {
+                            index,
+                            label: label.clone(),
+                            cache_hit: true,
+                            records: point_records(point),
+                            elapsed: point_start.elapsed(),
+                        });
+                        *slots[index].lock().expect("slot poisoned") = Some(Ok(hit));
+                        continue;
+                    }
+
+                    match catch_unwind(AssertUnwindSafe(|| execute_point(point))) {
+                        Ok(metrics) => {
+                            simulated_records.fetch_add(point_records(point), Ordering::Relaxed);
+                            if let Some(c) = cache {
+                                // A failed store degrades the next run to a
+                                // re-simulation; the current one is unharmed.
+                                let _ = c.store(fp, &metrics);
+                            }
+                            if let Some(j) = journal {
+                                j.record_ok(fp, &label);
+                            }
+                            send(&progress, || ProgressEvent::Finished {
+                                index,
+                                label: label.clone(),
+                                cache_hit: false,
+                                records: point_records(point),
+                                elapsed: point_start.elapsed(),
+                            });
+                            *slots[index].lock().expect("slot poisoned") = Some(Ok(metrics));
+                        }
+                        Err(payload) => {
+                            let error = panic_message(payload.as_ref());
+                            if let Some(j) = journal {
+                                j.record_fail(fp, &label, &error);
+                            }
+                            send(&progress, || ProgressEvent::Failed {
+                                index,
+                                label: label.clone(),
+                                error: error.clone(),
+                            });
+                            *slots[index].lock().expect("slot poisoned") = Some(Err(error));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    std::panic::set_hook(default_hook);
+
+    let mut results = Vec::with_capacity(spec.points.len());
+    let mut failures = Vec::new();
+    for (index, slot) in slots.into_iter().enumerate() {
+        match slot
+            .into_inner()
+            .expect("slot poisoned")
+            .expect("every point visited")
+        {
+            Ok(m) => results.push(Some(m)),
+            Err(e) => {
+                results.push(None);
+                failures.push((index, e));
+            }
+        }
+    }
+    let completed = results.iter().filter(|r| r.is_some()).count();
+    let report = CampaignReport {
+        completed,
+        failed: failures.len(),
+        cache_hits: cache_hits.into_inner(),
+        simulated_records: simulated_records.into_inner(),
+        elapsed: start.elapsed(),
+    };
+    Ok(CampaignOutcome {
+        results,
+        failures,
+        prior_failures,
+        report,
+    })
+}
+
+fn send(progress: &Option<Sender<ProgressEvent>>, event: impl FnOnce() -> ProgressEvent) {
+    if let Some(tx) = progress {
+        // A dropped receiver just means nobody is watching.
+        let _ = tx.send(event());
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s64v_core::SystemConfig;
+    use s64v_workloads::SuiteKind;
+
+    fn program_point(records: usize, seed: u64) -> SimPoint {
+        SimPoint {
+            config: SystemConfig::sparc64_v(),
+            work: WorkUnit::Program {
+                suite: SuiteKind::SpecInt95,
+                index: 0,
+            },
+            records,
+            warmup: 2_000,
+            seed,
+        }
+    }
+
+    #[test]
+    fn campaign_runs_points_in_order() {
+        let spec = CampaignSpec::new(
+            "unit",
+            vec![program_point(3_000, 1), program_point(3_000, 2)],
+        );
+        let outcome = run_campaign(&spec, None).expect("run");
+        assert_eq!(outcome.results.len(), 2);
+        assert!(outcome.failures.is_empty());
+        let a = outcome.results[0].as_ref().expect("point 0");
+        let b = outcome.results[1].as_ref().expect("point 1");
+        assert_eq!(a.committed, 3_000);
+        assert_ne!(a.cycles, b.cycles, "different seeds, different traces");
+        assert_eq!(outcome.report.completed, 2);
+        assert_eq!(outcome.report.simulated_records, 2 * 5_000);
+    }
+
+    #[test]
+    fn engine_matches_direct_execution() {
+        let p = program_point(4_000, 9);
+        let direct = execute_point(&p);
+        let outcome = run_campaign(&CampaignSpec::new("unit", vec![p]), None).expect("run");
+        assert_eq!(outcome.results[0].as_ref(), Some(&direct));
+    }
+
+    #[test]
+    fn panicking_point_is_contained() {
+        // records = 0 trips the model's "warmup must leave records to
+        // time" assertion.
+        let spec = CampaignSpec::new("unit", vec![program_point(0, 1), program_point(3_000, 1)]);
+        let outcome = run_campaign(&spec, None).expect("run");
+        assert_eq!(outcome.results[0], None);
+        assert!(outcome.results[1].is_some());
+        assert_eq!(outcome.failures.len(), 1);
+        assert_eq!(outcome.failures[0].0, 0);
+        assert!(
+            outcome.failures[0].1.contains("warmup"),
+            "got: {}",
+            outcome.failures[0].1
+        );
+        assert_eq!(outcome.report.failed, 1);
+        assert_eq!(outcome.report.completed, 1);
+    }
+}

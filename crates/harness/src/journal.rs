@@ -1,0 +1,196 @@
+//! Append-only campaign journal.
+//!
+//! The journal records every point outcome as one line, flushed as it
+//! happens, so an interrupted campaign leaves a complete account of what
+//! finished and what failed. On resume the *results* come back through
+//! the content-addressed cache; the journal's job is the bookkeeping the
+//! cache cannot do — which points panicked (and why), and how far the
+//! previous run got.
+//!
+//! Line format (space-separated, message is the line's tail):
+//!
+//! ```text
+//! ok   <fingerprint> <label...>
+//! fail <fingerprint> <label> :: <error message>
+//! ```
+
+use s64v_core::fingerprint::Fingerprint;
+use std::collections::HashSet;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One failed point recorded in a journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedPoint {
+    /// The point's fingerprint.
+    pub fingerprint: Fingerprint,
+    /// Its human-readable label.
+    pub label: String,
+    /// The panic/error message.
+    pub error: String,
+}
+
+/// What a previous run left behind.
+#[derive(Debug, Clone, Default)]
+pub struct JournalState {
+    /// Fingerprints of points that completed.
+    pub completed: HashSet<Fingerprint>,
+    /// Points that failed, in journal order (a point that later
+    /// succeeded — e.g. on a retry run — is dropped from this list).
+    pub failed: Vec<FailedPoint>,
+}
+
+/// An open journal file, safe to append from worker threads.
+#[derive(Debug)]
+pub struct Journal {
+    file: Mutex<std::fs::File>,
+    path: PathBuf,
+}
+
+/// The journal file inside a cache directory.
+pub fn journal_path(cache_dir: &Path) -> PathBuf {
+    cache_dir.join("journal.log")
+}
+
+impl Journal {
+    /// Opens `path` for appending, creating it (and its directory) if
+    /// missing.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Journal {
+            file: Mutex::new(file),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Where this journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Reads the accumulated state (missing file = empty state; malformed
+    /// lines are skipped).
+    pub fn load(path: &Path) -> JournalState {
+        let mut state = JournalState::default();
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return state;
+        };
+        for line in text.lines() {
+            let mut parts = line.splitn(3, ' ');
+            let (Some(tag), Some(fp_hex), Some(rest)) = (parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            let Some(fp) = Fingerprint::parse_hex(fp_hex) else {
+                continue;
+            };
+            match tag {
+                "ok" => {
+                    state.completed.insert(fp);
+                    state.failed.retain(|f| f.fingerprint != fp);
+                }
+                "fail" => {
+                    let (label, error) = match rest.split_once(" :: ") {
+                        Some((l, e)) => (l.to_string(), e.to_string()),
+                        None => (rest.to_string(), String::new()),
+                    };
+                    state.failed.push(FailedPoint {
+                        fingerprint: fp,
+                        label,
+                        error,
+                    });
+                }
+                _ => {}
+            }
+        }
+        state
+    }
+
+    /// Records a completed point.
+    pub fn record_ok(&self, fp: Fingerprint, label: &str) {
+        self.append(&format!("ok {fp} {}\n", sanitize(label)));
+    }
+
+    /// Records a failed point with its error message.
+    pub fn record_fail(&self, fp: Fingerprint, label: &str, error: &str) {
+        self.append(&format!(
+            "fail {fp} {} :: {}\n",
+            sanitize(label),
+            sanitize(error)
+        ));
+    }
+
+    fn append(&self, line: &str) {
+        let mut file = self.file.lock().expect("journal lock poisoned");
+        // Journal writes are best-effort: losing a line degrades the
+        // resume report, never the results (the cache holds those).
+        let _ = file.write_all(line.as_bytes());
+        let _ = file.flush();
+    }
+}
+
+/// Keeps journal entries one line each.
+fn sanitize(s: &str) -> String {
+    s.replace(['\n', '\r'], " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s64v_core::StableHasher;
+
+    fn fp(tag: &str) -> Fingerprint {
+        let mut h = StableHasher::new();
+        h.write_str(tag);
+        h.finish()
+    }
+
+    #[test]
+    fn round_trips_ok_and_fail_lines() {
+        let dir = std::env::temp_dir().join(format!("s64v-journal-test-{}", std::process::id()));
+        let path = journal_path(&dir);
+        std::fs::remove_file(&path).ok();
+
+        let j = Journal::open(&path).expect("open");
+        j.record_ok(fp("a"), "point a");
+        j.record_fail(fp("b"), "point b", "warmup must leave\nrecords");
+        j.record_ok(fp("c"), "point c");
+
+        let state = Journal::load(&path);
+        assert!(state.completed.contains(&fp("a")));
+        assert!(state.completed.contains(&fp("c")));
+        assert_eq!(state.failed.len(), 1);
+        assert_eq!(state.failed[0].label, "point b");
+        assert!(state.failed[0].error.contains("warmup must leave"));
+
+        // A later success clears the failure.
+        j.record_ok(fp("b"), "point b");
+        let state = Journal::load(&path);
+        assert!(state.failed.is_empty());
+        assert_eq!(state.completed.len(), 3);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_and_garbage_files_load_empty() {
+        let state = Journal::load(Path::new("/nonexistent/journal.log"));
+        assert!(state.completed.is_empty());
+
+        let dir = std::env::temp_dir().join(format!("s64v-journal-gbg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("journal.log");
+        std::fs::write(&path, "not a journal line\nok tooshort x\n").expect("write");
+        let state = Journal::load(&path);
+        assert!(state.completed.is_empty());
+        assert!(state.failed.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,57 @@
+//! `s64v-harness` — the experiment-campaign engine.
+//!
+//! The evaluation's figures share almost all of their simulations (most
+//! compare a variant configuration against the same baseline suite
+//! runs), yet the historical per-figure binaries each re-ran everything
+//! sequentially. This crate replaces those loops with one engine:
+//!
+//! * **Declarative campaigns** — a [`CampaignSpec`] lists independent
+//!   [`SimPoint`]s (configuration × workload × seed × lengths); figures
+//!   are assembled from point results by the [`figures`] render layer.
+//! * **Parallel and deterministic** — points run on a work-stealing
+//!   worker pool; every point is seeded independently, so results are
+//!   byte-identical regardless of thread count or scheduling.
+//! * **Content-addressed caching** — each point's identity is a stable
+//!   [fingerprint](s64v_core::fingerprint) of everything that affects
+//!   its result (plus the model version); finished points persist under
+//!   that key and later campaigns reuse them.
+//! * **Resumable and failure-isolated** — an append-only [`journal`]
+//!   records every outcome as it happens, and a panicking point is
+//!   caught, reported, and skipped instead of aborting the campaign.
+//!
+//! The `campaign` binary drives the whole evaluation through this
+//! engine: `cargo run --release -p s64v-harness --bin campaign --
+//! --figures all`.
+
+pub mod cache;
+pub mod engine;
+pub mod figures;
+pub mod journal;
+pub mod progress;
+pub mod spec;
+
+pub use engine::{execute_point, run_campaign, CampaignOutcome};
+pub use figures::{figure, figure_names, run_figures, EngineOpts, FigureDef, RunSummary};
+pub use progress::{CampaignReport, ProgressEvent};
+pub use spec::{CampaignSpec, HarnessOpts, PointMetrics, SimPoint, WorkUnit};
+
+/// Prints a table and also writes it as CSV under `results/` (best
+/// effort — the directory is created if missing; failures only warn).
+pub fn emit(name: &str, table: &s64v_stats::Table) {
+    print!("{table}");
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.csv"));
+        if let Err(e) = std::fs::write(&path, table.to_csv()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+/// Prints the standard harness header for one experiment.
+pub fn banner(experiment: &str, paper_ref: &str, expectation: &str) {
+    println!("================================================================");
+    println!("{experiment}  [{paper_ref}]");
+    println!("paper expectation: {expectation}");
+    println!("================================================================");
+}

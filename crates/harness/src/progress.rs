@@ -1,0 +1,110 @@
+//! Campaign progress events and the end-of-run report.
+//!
+//! The engine pushes one [`ProgressEvent`] per point transition into an
+//! optional `std::sync::mpsc` channel; callers that want live output
+//! drain it from their own thread (see the `campaign` binary). The
+//! aggregate [`CampaignReport`] is computed by the engine itself, so a
+//! caller that ignores the channel loses nothing but the live feed.
+
+use std::time::Duration;
+
+/// One point's lifecycle, as seen from outside the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgressEvent {
+    /// A worker picked the point up.
+    Started {
+        /// Index into the campaign's point list.
+        index: usize,
+        /// The point's label.
+        label: String,
+    },
+    /// The point finished (simulated or served from cache).
+    Finished {
+        /// Index into the campaign's point list.
+        index: usize,
+        /// The point's label.
+        label: String,
+        /// Whether the result came from the on-disk cache.
+        cache_hit: bool,
+        /// Trace records covered (timed + warm-up, all CPUs).
+        records: u64,
+        /// Wall time spent on this point.
+        elapsed: Duration,
+    },
+    /// The point panicked; the campaign continues without it.
+    Failed {
+        /// Index into the campaign's point list.
+        index: usize,
+        /// The point's label.
+        label: String,
+        /// The recovered panic message.
+        error: String,
+    },
+}
+
+/// Aggregate outcome of a campaign run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignReport {
+    /// Points that produced metrics (including cache hits).
+    pub completed: usize,
+    /// Points that panicked.
+    pub failed: usize,
+    /// Completed points served from the cache.
+    pub cache_hits: usize,
+    /// Trace records simulated (cache hits excluded).
+    pub simulated_records: u64,
+    /// Wall time for the whole campaign.
+    pub elapsed: Duration,
+}
+
+impl CampaignReport {
+    /// Simulated trace records per wall-clock second (the engine-level
+    /// analogue of the paper's instructions-per-second model speed).
+    pub fn records_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.simulated_records as f64 / secs
+        }
+    }
+
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} completed ({} from cache), {} failed, {:.2}M records simulated in {:.1}s ({:.0}K rec/s)",
+            self.completed,
+            self.cache_hits,
+            self.failed,
+            self.simulated_records as f64 / 1e6,
+            self.elapsed.as_secs_f64(),
+            self.records_per_second() / 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_summary_and_rate() {
+        let r = CampaignReport {
+            completed: 10,
+            failed: 1,
+            cache_hits: 4,
+            simulated_records: 3_000_000,
+            elapsed: Duration::from_secs(2),
+        };
+        assert_eq!(r.records_per_second(), 1_500_000.0);
+        let s = r.summary();
+        assert!(s.contains("10 completed"));
+        assert!(s.contains("4 from cache"));
+        assert!(s.contains("1 failed"));
+    }
+
+    #[test]
+    fn zero_elapsed_is_safe() {
+        assert_eq!(CampaignReport::default().records_per_second(), 0.0);
+    }
+}

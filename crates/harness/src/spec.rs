@@ -1,0 +1,298 @@
+//! Campaign specifications: what to simulate.
+//!
+//! A campaign is a list of [`SimPoint`]s — independent simulations of one
+//! configuration against one trace — plus execution options. Points are
+//! the engine's unit of parallelism, caching and failure isolation;
+//! figures are assembled *from* point results by the render layer
+//! ([`crate::figures`]), never inside the engine.
+
+use s64v_core::fingerprint::{Fingerprint, StableHasher};
+use s64v_core::SystemConfig;
+use s64v_workloads::SuiteKind;
+use std::path::PathBuf;
+
+/// Run sizes for a harness invocation, read from the environment:
+///
+/// | variable | meaning | default |
+/// |---|---|---|
+/// | `S64V_RECORDS` | timed records per program | 150000 |
+/// | `S64V_WARMUP` | warm-up records per program | 2000000 |
+/// | `S64V_SMP_CPUS` | CPUs in the TPC-C SMP model | 16 |
+/// | `S64V_SMP_RECORDS` | timed records per CPU (SMP) | 60000 |
+/// | `S64V_SMP_WARMUP` | warm-up records per CPU (SMP) | 600000 |
+/// | `S64V_SEED` | base RNG seed | 42 |
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessOpts {
+    /// Timed records per uniprocessor program.
+    pub records: usize,
+    /// Warm-up records per uniprocessor program.
+    pub warmup: usize,
+    /// CPUs in the TPC-C SMP model.
+    pub smp_cpus: usize,
+    /// Timed records per CPU in the SMP model.
+    pub smp_records: usize,
+    /// Warm-up records per CPU in the SMP model.
+    pub smp_warmup: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+pub(crate) fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl HarnessOpts {
+    /// Reads options from the environment (see the type docs).
+    pub fn from_env() -> Self {
+        HarnessOpts {
+            records: env_usize("S64V_RECORDS", 150_000),
+            warmup: env_usize("S64V_WARMUP", 2_000_000),
+            smp_cpus: env_usize("S64V_SMP_CPUS", 16),
+            smp_records: env_usize("S64V_SMP_RECORDS", 60_000),
+            smp_warmup: env_usize("S64V_SMP_WARMUP", 600_000),
+            seed: env_usize("S64V_SEED", 42) as u64,
+        }
+    }
+
+    /// Small sizes for smoke tests.
+    pub fn smoke() -> Self {
+        HarnessOpts {
+            records: 8_000,
+            warmup: 40_000,
+            smp_cpus: 2,
+            smp_records: 4_000,
+            smp_warmup: 20_000,
+            seed: 42,
+        }
+    }
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// The trace a point runs (the configuration lives in
+/// [`SimPoint::config`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkUnit {
+    /// One uniprocessor program trace through the full model.
+    Program {
+        /// Suite the program belongs to.
+        suite: SuiteKind,
+        /// Index within the suite's program list.
+        index: usize,
+    },
+    /// The lock-stepped SMP TPC-C model; the CPU count comes from the
+    /// point's `config.cpus`.
+    SmpTpcc,
+    /// One program through *both* the detailed model and the scalar
+    /// reference machine (the §2.2 verification loop); the metrics carry
+    /// the reference cycles and the equal-work verdict.
+    Verify {
+        /// Suite the program belongs to.
+        suite: SuiteKind,
+        /// Index within the suite's program list.
+        index: usize,
+    },
+}
+
+/// One simulation: a configuration, a trace, and its lengths.
+///
+/// `seed` is the *exact* trace-generation seed. Suite-style figures
+/// derive it per program with [`s64v_core::program_seed`]; studies that
+/// feed one program several raw seeds (the stability study) pass them
+/// through unchanged. Keeping the derivation out of the engine makes a
+/// point's identity fully explicit — two points are the same simulation
+/// exactly when their fingerprints match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimPoint {
+    /// Full system configuration.
+    pub config: SystemConfig,
+    /// What to simulate on it.
+    pub work: WorkUnit,
+    /// Timed records (per CPU for [`WorkUnit::SmpTpcc`]).
+    pub records: usize,
+    /// Warm-up records preceding the timed window.
+    pub warmup: usize,
+    /// Exact trace-generation seed.
+    pub seed: u64,
+}
+
+impl SimPoint {
+    /// The point's content-addressed identity: a stable hash of the full
+    /// configuration (via its `Debug` encoding, so every field counts),
+    /// the work unit, the lengths, the seed, and the model version
+    /// (seeded into every [`StableHasher`]).
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = StableHasher::new();
+        h.write_debug(&self.config);
+        h.write_debug(&self.work);
+        h.write_u64(self.records as u64);
+        h.write_u64(self.warmup as u64);
+        h.write_u64(self.seed);
+        h.finish()
+    }
+
+    /// A short human-readable label for progress lines and the journal.
+    pub fn label(&self) -> String {
+        match &self.work {
+            WorkUnit::Program { suite, index } => {
+                format!("{}[{}] seed={:#x}", suite.label(), index, self.seed)
+            }
+            WorkUnit::SmpTpcc => format!("tpcc-smp({}P) seed={:#x}", self.config.cpus, self.seed),
+            WorkUnit::Verify { suite, index } => {
+                format!("verify:{}[{}] seed={:#x}", suite.label(), index, self.seed)
+            }
+        }
+    }
+}
+
+/// Everything one point measures, flattened for the on-disk cache.
+///
+/// Ratios are stored as exact (numerator, denominator) pairs so suite
+/// aggregation after a cache hit merges them identically to a fresh run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PointMetrics {
+    /// Cycles until the last CPU drained.
+    pub cycles: u64,
+    /// Instructions committed across all CPUs.
+    pub committed: u64,
+    /// L1 instruction cache (misses, accesses).
+    pub l1i: (u64, u64),
+    /// L1 operand cache (misses, accesses).
+    pub l1d: (u64, u64),
+    /// L2 over all requests including prefetches (misses, accesses).
+    pub l2_all: (u64, u64),
+    /// L2 over demand requests only (misses, accesses).
+    pub l2_demand: (u64, u64),
+    /// Conditional branches (mispredicts, predictions).
+    pub mispredict: (u64, u64),
+    /// Prefetch requests issued.
+    pub prefetches: u64,
+    /// Cache-to-cache move-out transfers received.
+    pub move_outs: u64,
+    /// Cycles the system bus was occupied.
+    pub bus_busy_cycles: u64,
+    /// System bus transactions.
+    pub bus_transactions: u64,
+    /// Mean load-to-data latency in cycles, weighted by loads.
+    pub mean_load_latency: f64,
+    /// Zero-commit-cycle blame in `StallCycles` order: busy, l2-miss,
+    /// l1-miss, execute, dispatch, frontend-branch, frontend-fetch.
+    pub stalls: [u64; 7],
+    /// Reference-machine cycles ([`WorkUnit::Verify`] points; else 0).
+    pub reference_cycles: u64,
+    /// Whether model and reference did identical architectural work
+    /// ([`WorkUnit::Verify`] points; else `true`).
+    pub same_work: bool,
+}
+
+impl PointMetrics {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Bus utilization over the run.
+    pub fn bus_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.bus_busy_cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// A declarative campaign: named points plus execution options.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Campaign name (journal/report headers).
+    pub name: String,
+    /// The simulations to run. Order is preserved in the results.
+    pub points: Vec<SimPoint>,
+    /// Worker threads (`None` = available parallelism).
+    pub threads: Option<usize>,
+    /// Result-cache directory (`None` = no cache, no journal).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl CampaignSpec {
+    /// A campaign with default execution options and no cache.
+    pub fn new(name: impl Into<String>, points: Vec<SimPoint>) -> Self {
+        CampaignSpec {
+            name: name.into(),
+            points,
+            threads: None,
+            cache_dir: None,
+        }
+    }
+
+    /// Sets the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Enables the on-disk result cache (and journal) in `dir`.
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point() -> SimPoint {
+        SimPoint {
+            config: SystemConfig::sparc64_v(),
+            work: WorkUnit::Program {
+                suite: SuiteKind::SpecInt95,
+                index: 0,
+            },
+            records: 1_000,
+            warmup: 500,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_sensitive() {
+        let p = point();
+        assert_eq!(p.fingerprint(), point().fingerprint());
+
+        let mut other = point();
+        other.seed = 8;
+        assert_ne!(p.fingerprint(), other.fingerprint());
+
+        let mut other = point();
+        other.records = 1_001;
+        assert_ne!(p.fingerprint(), other.fingerprint());
+
+        let mut other = point();
+        other.work = WorkUnit::SmpTpcc;
+        assert_ne!(p.fingerprint(), other.fingerprint());
+
+        let mut other = point();
+        other.config.core.issue_width = 2;
+        assert_ne!(p.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn labels_name_the_work() {
+        assert!(point().label().contains("SPECint95[0]"));
+        let mut p = point();
+        p.work = WorkUnit::SmpTpcc;
+        assert!(p.label().contains("tpcc-smp(1P)"));
+    }
+}

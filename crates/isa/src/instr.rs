@@ -2,7 +2,6 @@
 
 use crate::opclass::OpClass;
 use crate::reg::Reg;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Maximum number of register sources an instruction can name
@@ -11,7 +10,7 @@ use std::fmt;
 pub const MAX_SRCS: usize = 3;
 
 /// Access width of a memory operation, in bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MemWidth {
     /// 1-byte access.
     B1 = 1,
@@ -32,9 +31,7 @@ impl MemWidth {
 
 /// Privilege level an instruction executed at (TPC-C traces include both
 /// kernel and user code; SPEC traces are user-only — §4.1 of the paper).
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Privilege {
     /// User-mode (application) code.
     #[default]
@@ -44,7 +41,7 @@ pub enum Privilege {
 }
 
 /// Memory attributes of a load or store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemInfo {
     /// Effective virtual address.
     pub addr: u64,
@@ -53,7 +50,7 @@ pub struct MemInfo {
 }
 
 /// Control-flow attributes of a branch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BranchInfo {
     /// Whether the branch was taken in the trace (the architecturally
     /// correct outcome — the predictor is scored against this).
@@ -77,7 +74,7 @@ pub struct BranchInfo {
 /// assert!(ld.op.is_mem());
 /// assert_eq!(ld.mem.unwrap().addr, 0x1000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Instr {
     /// Instruction class.
     pub op: OpClass,

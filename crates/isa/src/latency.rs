@@ -8,7 +8,6 @@
 //! forwarding.
 
 use crate::opclass::OpClass;
-use serde::{Deserialize, Serialize};
 
 /// Execute-stage latencies (cycles) for each instruction class.
 ///
@@ -24,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(lat.get(OpClass::IntAlu), 1);
 /// assert!(lat.get(OpClass::FpMulAdd) > lat.get(OpClass::IntAlu));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyTable {
     int_alu: u32,
     int_mul: u32,

@@ -6,11 +6,10 @@
 //! units), RSA (10 entries feeding the two address generators) and RSBR
 //! (10 entries for branches). [`OpClass::rs_kind`] encodes that binding.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The class of an instruction, at the granularity the timing model needs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OpClass {
     /// Integer ALU operation (add, logical, shift, compare, sethi...).
     IntAlu,
@@ -61,7 +60,7 @@ pub const ALL_OP_CLASSES: [OpClass; 13] = [
 ];
 
 /// The reservation-station kind an instruction is inserted into at decode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RsKind {
     /// RSE — integer execution (2 × 8 entries).
     Rse,
@@ -90,7 +89,7 @@ impl fmt::Display for RsKind {
 }
 
 /// The execution-unit family that executes a dispatched instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ExecUnit {
     /// One of the two integer execution units (EXA/EXB).
     IntUnit,

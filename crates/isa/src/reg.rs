@@ -8,7 +8,6 @@
 //! save/restore traffic is represented in traces as `Special` instructions
 //! (see the workload generators), not by renaming extra windowed names.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of architectural integer register names.
@@ -18,7 +17,7 @@ pub const NUM_INT_REGS: u8 = 32;
 pub const NUM_FP_REGS: u8 = 32;
 
 /// The class of an architectural register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RegClass {
     /// General-purpose integer register (`%g`, `%o`, `%l`, `%i`).
     Int,
@@ -55,7 +54,7 @@ impl fmt::Display for RegClass {
 /// assert!(Reg::int(0).is_zero());
 /// assert!(!Reg::fp(0).is_zero());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg {
     class: RegClass,
     index: u8,

@@ -1,10 +1,9 @@
 //! Memory-system configuration and the design points studied in the paper.
 
 use crate::addr::LINE_BYTES;
-use serde::{Deserialize, Serialize};
 
 /// Geometry of one cache (size, associativity, access latency).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheGeometry {
     /// Total capacity in bytes.
     pub capacity_bytes: u64,
@@ -58,7 +57,7 @@ impl CacheGeometry {
 ///
 /// §4.3.4 compares the on-chip 2 MB 4-way design against off-chip 8 MB
 /// designs whose access latency includes chip-to-chip communication.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum L2Location {
     /// On-die L2 ("on.2m-4w" in the paper).
     #[default]
@@ -75,7 +74,7 @@ pub enum L2Location {
 /// class grouped CPUs onto system boards joined by a backplane crossbar;
 /// [`BusTopology::Hierarchical`] models that: snoops and transfers between
 /// boards traverse both the local board bus and the backplane.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum BusTopology {
     /// One shared split-transaction bus (the default; exact for UP).
     #[default]
@@ -96,7 +95,7 @@ pub enum BusTopology {
 /// [`MemConfig::sparc64_v`] is the production design (Table 1); the
 /// `with_*` methods derive the alternative design points evaluated in
 /// Figures 11–17.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemConfig {
     /// L1 instruction cache geometry.
     pub l1i: CacheGeometry,

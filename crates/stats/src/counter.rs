@@ -1,6 +1,5 @@
 //! Monotonic event counters.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::AddAssign;
 
@@ -16,9 +15,7 @@ use std::ops::AddAssign;
 /// retired.add(3);
 /// assert_eq!(retired.get(), 4);
 /// ```
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Counter(u64);
 
 impl Counter {

@@ -1,6 +1,5 @@
 //! Bounded integer histograms for occupancies and latencies.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A histogram over `0..=max` with an overflow bucket.
@@ -21,7 +20,7 @@ use std::fmt;
 /// assert_eq!(occupancy.total(), 3);
 /// assert!((occupancy.mean() - (3.0 + 3.0 + 16.0) / 3.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     overflow: u64,

@@ -1,6 +1,5 @@
 //! Derived ratios (miss rates, IPC, utilization).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A numerator/denominator pair with safe division.
@@ -19,7 +18,7 @@ use std::fmt;
 /// assert!((miss.percent() - 2.5).abs() < 1e-12);
 /// assert_eq!(Ratio::of(3, 0).value(), 0.0); // empty denominators are 0, not NaN
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Ratio {
     num: u64,
     den: u64,

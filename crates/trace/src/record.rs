@@ -1,7 +1,6 @@
 //! A single dynamic instruction in a trace.
 
 use s64v_isa::Instr;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One dynamic instruction: the program counter it executed at plus its
@@ -20,7 +19,7 @@ use std::fmt;
 /// let r = TraceRecord::new(0x1000, Instr::nop());
 /// assert_eq!(r.next_pc(), 0x1004);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Program counter of the instruction.
     pub pc: u64,

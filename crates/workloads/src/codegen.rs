@@ -21,10 +21,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use s64v_isa::{Instr, MemWidth, OpClass, Reg};
 use s64v_trace::{TraceBuilder, VecTrace};
-use serde::{Deserialize, Serialize};
 
 /// Static code-structure parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CodeSpec {
     /// Base address of the code.
     pub base: u64,

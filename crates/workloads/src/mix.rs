@@ -7,7 +7,6 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 use s64v_isa::OpClass;
-use serde::{Deserialize, Serialize};
 
 /// Relative weights of the non-branch instruction classes.
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(mix.mem_fraction() > 0.2);
 /// assert_eq!(InstrMix::spec_fp().fp_weight() > 0.0, true);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InstrMix {
     /// Integer ALU weight.
     pub int_alu: f64,

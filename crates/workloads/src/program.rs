@@ -7,10 +7,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use s64v_isa::Instr;
 use s64v_trace::{TraceBuilder, VecTrace};
-use serde::{Deserialize, Serialize};
 
 /// The complete specification of one synthetic program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProgramSpec {
     /// Display name (e.g. `"gcc-like"`).
     pub name: String,
@@ -57,7 +56,7 @@ impl ProgramSpec {
 /// let t = suite.programs()[0].generate(5_000, 1);
 /// assert_eq!(t.len(), 5_000);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     spec: ProgramSpec,
 }

@@ -16,10 +16,9 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Access pattern within a region.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RegionKind {
     /// Uniform random addresses over the whole region.
     Uniform,
@@ -34,7 +33,7 @@ pub enum RegionKind {
 }
 
 /// One weighted address region.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Region {
     /// Base virtual address.
     pub base: u64,
@@ -86,7 +85,7 @@ impl Region {
 }
 
 /// The full data-side specification of a program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DataSpec {
     /// Address regions; weights are normalized at sampling time.
     pub regions: Vec<Region>,

@@ -17,11 +17,10 @@ use crate::codegen::CodeSpec;
 use crate::mix::InstrMix;
 use crate::program::{Program, ProgramSpec};
 use crate::regions::{DataSpec, Region};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The benchmark suites evaluated in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SuiteKind {
     /// SPEC CPU95 integer.
     SpecInt95,
@@ -64,7 +63,7 @@ impl fmt::Display for SuiteKind {
 }
 
 /// A named set of programs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Suite {
     kind: SuiteKind,
     programs: Vec<Program>,

@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Tier-1 gate: formatting, lints, and the full test suite.
+# Usage: scripts/ci.sh  (from the repository root)
+set -eu
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "ci: all green"

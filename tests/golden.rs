@@ -12,9 +12,9 @@ use sparc64v::workloads::{Suite, SuiteKind};
 /// (suite, program index, cycles, committed, l1d misses, l2 demand misses,
 /// mispredicts) for generate(40_000, 2026) timed after 30_000 warm-up.
 const GOLDEN: &[(SuiteKind, usize, u64, u64, u64, u64, u64)] = &[
-    (SuiteKind::SpecInt95, 0, 29_507, 10_000, 148, 120, 223),
-    (SuiteKind::SpecFp95, 1, 12_642, 10_000, 112, 21, 6),
-    (SuiteKind::Tpcc, 0, 81_490, 10_000, 321, 498, 420),
+    (SuiteKind::SpecInt95, 0, 31_825, 10_000, 114, 109, 313),
+    (SuiteKind::SpecFp95, 1, 14_998, 10_000, 163, 26, 12),
+    (SuiteKind::Tpcc, 0, 83_914, 10_000, 341, 553, 428),
 ];
 
 #[test]

@@ -55,7 +55,10 @@ fn counters_are_mutually_consistent() {
             );
         }
         // Demand L2 traffic is a subset of all L2 traffic.
-        assert!(mem.l2_demand.accesses.get() <= mem.l2_all.accesses.get(), "{kind}");
+        assert!(
+            mem.l2_demand.accesses.get() <= mem.l2_all.accesses.get(),
+            "{kind}"
+        );
         // The CPI stack accounts for every cycle exactly once.
         let s = &core.stall_cycles;
         let blamed: u64 = [
@@ -70,7 +73,11 @@ fn counters_are_mutually_consistent() {
         .iter()
         .map(|c| c.get())
         .sum();
-        assert_eq!(blamed, core.cycles.get(), "{kind}: CPI stack covers all cycles");
+        assert_eq!(
+            blamed,
+            core.cycles.get(),
+            "{kind}: CPI stack covers all cycles"
+        );
         // Occupancies respect the hardware limits.
         assert!(core.window_occupancy.max_seen() <= 64, "{kind}");
         assert!(core.lq_occupancy.max_seen() <= 16, "{kind}");
@@ -83,7 +90,13 @@ fn perfect_everything_is_an_upper_bound_for_every_suite() {
     let base = SystemConfig::sparc64_v();
     let ideal = base
         .clone()
-        .with_mem(base.mem.clone().with_perfect_l1().with_perfect_l2().with_perfect_tlb())
+        .with_mem(
+            base.mem
+                .clone()
+                .with_perfect_l1()
+                .with_perfect_l2()
+                .with_perfect_tlb(),
+        )
         .with_core(base.core.clone().with_perfect_branch_prediction());
     for kind in SuiteKind::ALL {
         let suite = Suite::preset(kind);
@@ -94,6 +107,9 @@ fn perfect_everything_is_an_upper_bound_for_every_suite() {
             best.cycles <= real.cycles,
             "{kind}: idealized machine must be an upper bound"
         );
-        assert!(best.ipc() <= 6.01, "{kind}: dispatch width bounds even the ideal machine");
+        assert!(
+            best.ipc() <= 6.01,
+            "{kind}: dispatch width bounds even the ideal machine"
+        );
     }
 }

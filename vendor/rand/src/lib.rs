@@ -1,0 +1,228 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! external `rand` dependency is replaced by this vendored crate. It keeps
+//! the *API subset* the workspace uses (`StdRng`, [`SeedableRng`],
+//! [`Rng::gen_range`], [`Rng::gen_bool`]) but intentionally implements a
+//! different, self-contained generator (xoshiro256++ seeded through
+//! SplitMix64), so trace content differs from the upstream `rand 0.8`
+//! `StdRng`. All golden constants and committed results were regenerated
+//! when this swap happened.
+//!
+//! Everything is fully deterministic: the same seed always produces the
+//! same stream on every platform, which the simulator's reproducibility
+//! guarantees (and the campaign engine's result cache) depend on.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators (mirror of `rand::SeedableRng` for the used subset).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The xoshiro256++ generator used everywhere `rand::rngs::StdRng` was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256 {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expands the seed into the four state words; zero state
+        // (which would be a fixed point) is impossible by construction.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Xoshiro256 {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+/// Types a generator can sample uniformly from a range (mirror of
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from `[start, end)`.
+    fn sample_half_open(start: Self, end: Self, rng: &mut Xoshiro256) -> Self;
+    /// Samples uniformly from `[start, end]`.
+    fn sample_inclusive(start: Self, end: Self, rng: &mut Xoshiro256) -> Self;
+}
+
+/// A range a generator can sample uniformly (mirror of
+/// `rand::distributions::uniform::SampleRange`).
+///
+/// The blanket impls below are deliberately generic over
+/// [`SampleUniform`] — exactly like upstream `rand` — so the element
+/// type of a literal range (`0..6`) is inferred from the call site
+/// rather than falling back to `i32`.
+pub trait SampleRange<T> {
+    /// Samples a value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn sample(self, rng: &mut Xoshiro256) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut Xoshiro256) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut Xoshiro256) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_inclusive(start, end, rng)
+    }
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(start: $t, end: $t, rng: &mut Xoshiro256) -> $t {
+                assert!(start < end, "cannot sample empty range");
+                let span = end.wrapping_sub(start) as u64;
+                // Multiply-shift bounded sampling; the slight modulo-free
+                // bias (< 2^-64 per unit of span) is irrelevant for
+                // workload synthesis.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                start.wrapping_add(hi as $t)
+            }
+
+            fn sample_inclusive(start: $t, end: $t, rng: &mut Xoshiro256) -> $t {
+                assert!(start <= end, "cannot sample empty range");
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = end.wrapping_sub(start) as u64 + 1;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                start.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(start: f64, end: f64, rng: &mut Xoshiro256) -> f64 {
+        assert!(start < end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        start + unit * (end - start)
+    }
+
+    fn sample_inclusive(start: f64, end: f64, rng: &mut Xoshiro256) -> f64 {
+        assert!(start <= end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64; // [0, 1]
+        start + unit * (end - start)
+    }
+}
+
+/// Sampling methods (mirror of `rand::Rng` for the used subset).
+pub trait Rng {
+    /// Samples a value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for Xoshiro256 {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+/// Named generators (mirror of `rand::rngs`).
+pub mod rngs {
+    /// The standard generator: here, xoshiro256++ (see the crate docs for
+    /// why it differs from upstream `rand`'s ChaCha-based `StdRng`).
+    pub type StdRng = super::Xoshiro256;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(5u32..=5);
+            assert_eq!(w, 5);
+            let f = rng.gen_range(0.0..2.5);
+            assert!((0.0..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}/10000");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn integer_sampling_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 8];
+        for _ in 0..8_000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((800..1_200).contains(&c), "bucket {i}: {c}");
+        }
+    }
+}
