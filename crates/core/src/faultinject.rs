@@ -1,0 +1,232 @@
+//! Deterministic fault injection for validating the integrity layer.
+//!
+//! A checker that never fires is indistinguishable from a checker that
+//! does not work. This module flips model state *on purpose* — at a
+//! deterministic, seed-derived cycle — so the invariant auditor
+//! ([`crate::integrity::Auditor`]) can be proven to catch every class of
+//! corruption it claims to cover:
+//!
+//! | fault class                     | detecting invariant              |
+//! |---------------------------------|----------------------------------|
+//! | [`FaultClass::DropFill`]        | pipeline wedge watchdog          |
+//! | [`FaultClass::CorruptTag`]      | MESI legality sweep              |
+//! | [`FaultClass::LoseBusGrant`]    | bus credit conservation          |
+//! | [`FaultClass::StallRsSlot`]     | RS occupancy within capacity     |
+//! | [`FaultClass::OvercommitMshr`]  | MSHR occupancy within capacity   |
+//! | [`FaultClass::RewindCommit`]    | commit monotonicity              |
+//!
+//! Injection is fully reproducible: [`FaultPlan::seeded`] derives the
+//! injection cycle from the seed, the fault class, the target CPU and the
+//! simulation point's fingerprint via the same [`StableHasher`] the
+//! results cache uses, so a failing campaign point can be re-run bit-for-
+//! bit. Fault plans ride in [`crate::RunOptions`], never in
+//! [`crate::SystemConfig`], so they cannot perturb cache fingerprints.
+
+use crate::fingerprint::{Fingerprint, StableHasher};
+use s64v_cpu::Core;
+use s64v_isa::RsKind;
+use s64v_mem::MemorySystem;
+
+/// How many reservation-station slots [`FaultClass::StallRsSlot`] marks as
+/// stuck: enough to exceed any configured station capacity outright, so
+/// detection does not depend on workload pressure.
+const STUCK_SLOTS: usize = 64;
+
+/// A class of model-state corruption the injector can introduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Drop the next L1D fill on the target CPU: the consuming load's data
+    /// never arrives and the pipeline wedges.
+    DropFill,
+    /// Corrupt directory state: force the target CPU to Modified on a line
+    /// another CPU validly holds (an illegal second owner).
+    CorruptTag,
+    /// Count a bus grant that never booked its occupancy.
+    LoseBusGrant,
+    /// Mark a block of RSA slots on the target CPU as stuck-held.
+    StallRsSlot,
+    /// Overcommit the target CPU's L1D MSHR file past its capacity.
+    OvercommitMshr,
+    /// Rewind the target CPU's committed-instruction counter to zero.
+    RewindCommit,
+}
+
+impl FaultClass {
+    /// Every fault class, for exhaustive matrix tests.
+    pub const ALL: [FaultClass; 6] = [
+        FaultClass::DropFill,
+        FaultClass::CorruptTag,
+        FaultClass::LoseBusGrant,
+        FaultClass::StallRsSlot,
+        FaultClass::OvercommitMshr,
+        FaultClass::RewindCommit,
+    ];
+
+    /// Stable kebab-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::DropFill => "drop-fill",
+            FaultClass::CorruptTag => "corrupt-tag",
+            FaultClass::LoseBusGrant => "lose-bus-grant",
+            FaultClass::StallRsSlot => "stall-rs-slot",
+            FaultClass::OvercommitMshr => "overcommit-mshr",
+            FaultClass::RewindCommit => "rewind-commit",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// When and where to inject one fault.
+///
+/// The plan stays *armed* until it successfully applies; classes that need
+/// pre-existing state (e.g. [`FaultClass::CorruptTag`] needs a remotely
+/// held line) retry every cycle from their trigger cycle until the state
+/// exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// What to corrupt.
+    pub class: FaultClass,
+    /// The target CPU (ignored by system-wide classes).
+    pub core: usize,
+    /// First cycle at which to apply the fault.
+    pub cycle: u64,
+    armed: bool,
+}
+
+impl FaultPlan {
+    /// A fault of `class` on `core`, applied from `cycle` onward.
+    pub fn at(class: FaultClass, core: usize, cycle: u64) -> Self {
+        FaultPlan {
+            class,
+            core,
+            cycle,
+            armed: true,
+        }
+    }
+
+    /// Derives the injection cycle deterministically from `seed`, the
+    /// fault identity and the simulation point's `fingerprint`, landing in
+    /// `[window_start, window_start + window_len)`. The same inputs always
+    /// produce the same plan, on any platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_len` is zero.
+    pub fn seeded(
+        class: FaultClass,
+        core: usize,
+        seed: u64,
+        fingerprint: Fingerprint,
+        window_start: u64,
+        window_len: u64,
+    ) -> Self {
+        assert!(window_len > 0, "fault window must be non-empty");
+        let mut h = StableHasher::new();
+        h.write_str("faultinject");
+        h.write_str(class.name());
+        h.write_u64(core as u64);
+        h.write_u64(seed);
+        h.write_str(&fingerprint.to_hex());
+        let digest = h.finish().to_hex();
+        let bits = u64::from_str_radix(&digest[..16], 16).expect("hex digest");
+        FaultPlan::at(class, core, window_start + bits % window_len)
+    }
+
+    /// Whether the fault has not yet been applied.
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Applies the fault if `now` has reached the trigger cycle and the
+    /// needed model state exists; otherwise stays armed for the next cycle.
+    pub fn apply(&mut self, now: u64, cores: &mut [Core], mem: &mut MemorySystem) {
+        if !self.armed || now < self.cycle {
+            return;
+        }
+        let core = self.core.min(cores.len() - 1);
+        match self.class {
+            FaultClass::DropFill => {
+                mem.fault_drop_next_fill(core);
+                self.armed = false;
+            }
+            FaultClass::CorruptTag => {
+                // Needs a line some *other* CPU validly holds; retry until
+                // coherence traffic creates one.
+                if mem.fault_corrupt_tag(core).is_some() {
+                    self.armed = false;
+                }
+            }
+            FaultClass::LoseBusGrant => {
+                mem.fault_lose_bus_grant();
+                self.armed = false;
+            }
+            FaultClass::StallRsSlot => {
+                cores[core].fault_stall_rs_slots(RsKind::Rsa, STUCK_SLOTS);
+                self.armed = false;
+            }
+            FaultClass::OvercommitMshr => {
+                // Inject one phantom entry past the file's capacity so the
+                // violation is immediate regardless of real occupancy.
+                let cap = mem.mshr_levels(core)[1].capacity as usize;
+                for _ in 0..=cap {
+                    mem.fault_overcommit_mshr(core);
+                }
+                self.armed = false;
+            }
+            FaultClass::RewindCommit => {
+                // A rewind of an all-zero counter is a no-op; retry until
+                // something has committed so the corruption is observable.
+                if cores[core].stats().committed.get() > 0 {
+                    cores[core].fault_rewind_committed();
+                    self.armed = false;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::config_fingerprint;
+    use crate::system::SystemConfig;
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let fp = config_fingerprint(&SystemConfig::sparc64_v());
+        let a = FaultPlan::seeded(FaultClass::DropFill, 0, 42, fp, 1_000, 5_000);
+        let b = FaultPlan::seeded(FaultClass::DropFill, 0, 42, fp, 1_000, 5_000);
+        assert_eq!(a, b);
+        assert!(a.cycle >= 1_000 && a.cycle < 6_000, "cycle {}", a.cycle);
+    }
+
+    #[test]
+    fn seed_class_and_core_all_shift_the_cycle() {
+        let fp = config_fingerprint(&SystemConfig::sparc64_v());
+        let base = FaultPlan::seeded(FaultClass::DropFill, 0, 42, fp, 0, 1 << 40);
+        let other_seed = FaultPlan::seeded(FaultClass::DropFill, 0, 43, fp, 0, 1 << 40);
+        let other_class = FaultPlan::seeded(FaultClass::RewindCommit, 0, 42, fp, 0, 1 << 40);
+        let other_core = FaultPlan::seeded(FaultClass::DropFill, 1, 42, fp, 0, 1 << 40);
+        assert_ne!(base.cycle, other_seed.cycle);
+        assert_ne!(base.cycle, other_class.cycle);
+        assert_ne!(base.cycle, other_core.cycle);
+    }
+
+    #[test]
+    fn plan_does_not_fire_before_its_cycle() {
+        let mut plan = FaultPlan::at(FaultClass::LoseBusGrant, 0, 100);
+        let cfg = SystemConfig::sparc64_v();
+        let mut cores = vec![s64v_cpu::Core::new(cfg.core.clone(), 0)];
+        let mut mem = s64v_mem::MemorySystem::new(s64v_mem::MemConfig::sparc64_v(), 1);
+        plan.apply(99, &mut cores, &mut mem);
+        assert!(plan.armed());
+        plan.apply(100, &mut cores, &mut mem);
+        assert!(!plan.armed());
+        assert_eq!(mem.bus().transactions(), 1, "lost grant was counted");
+    }
+}

@@ -18,12 +18,18 @@
 //!   machine" reference,
 //! * [`experiment`] — suite runners (parallel across programs) used by
 //!   every figure harness,
-//! * [`report`] — table builders shared by the harness binaries.
+//! * [`report`] — table builders shared by the harness binaries,
+//! * [`integrity`] — structured [`SimError`]s and the checked-mode
+//!   invariant auditor,
+//! * [`faultinject`] — deterministic fault injection proving the auditor
+//!   catches every corruption class it claims to.
 
 pub mod accuracy;
 pub mod breakdown;
 pub mod experiment;
+pub mod faultinject;
 pub mod fingerprint;
+pub mod integrity;
 pub mod model;
 pub mod reference;
 pub mod report;
@@ -37,8 +43,10 @@ pub use experiment::{
     program_seed, run_suite, run_suite_warm, run_tpcc_smp, run_tpcc_smp_warm, ProgramResult,
     SuiteResult,
 };
+pub use faultinject::{FaultClass, FaultPlan};
 pub use fingerprint::{config_fingerprint, Fingerprint, StableHasher, MODEL_FINGERPRINT_VERSION};
-pub use model::PerformanceModel;
+pub use integrity::{Auditor, Component, SimError};
+pub use model::{PerformanceModel, RunOptions};
 pub use reference::{compare, ModelCheck, ReferenceMachine};
 pub use stability::{seed_study, seed_study_ratio, SeedStudy};
 pub use sweep::{DesignPoint, Sweep};

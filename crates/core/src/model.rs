@@ -1,9 +1,91 @@
 //! The performance-model façade.
 
+use crate::faultinject::FaultPlan;
+use crate::integrity::{Auditor, SimError};
 use crate::system::{RunResult, SystemConfig};
 use s64v_cpu::Core;
 use s64v_mem::MemorySystem;
 use s64v_trace::{SliceStream, TraceStream, VecTrace};
+
+/// Per-run options that do not describe the simulated system (and
+/// therefore never enter [`SystemConfig`] or any cache fingerprint):
+/// checked-mode auditing and fault injection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Run the invariant auditor every cycle (see [`crate::integrity`]).
+    pub checked: bool,
+    /// Inject a deterministic fault (see [`crate::faultinject`]).
+    pub fault: Option<FaultPlan>,
+}
+
+impl RunOptions {
+    /// Checked mode, no fault.
+    pub fn checked() -> Self {
+        RunOptions {
+            checked: true,
+            fault: None,
+        }
+    }
+
+    /// Checked mode with a fault plan (fault-matrix validation runs).
+    pub fn checked_with_fault(fault: FaultPlan) -> Self {
+        RunOptions {
+            checked: true,
+            fault: Some(fault),
+        }
+    }
+}
+
+/// The shared lock-stepped simulation loop: steps every unfinished core
+/// each cycle, applies any pending fault, and (in checked mode) audits the
+/// invariants. Returns the final cycle count.
+fn drive<S: TraceStream>(
+    cores: &mut [Core],
+    mem: &mut MemorySystem,
+    streams: &mut [S],
+    opts: RunOptions,
+) -> Result<u64, SimError> {
+    let mut auditor = opts.checked.then(|| Auditor::new(cores.len()));
+    let mut fault = opts.fault;
+    let mut done: Vec<bool> = vec![false; cores.len()];
+    let mut now = 0u64;
+    while done.iter().any(|d| !d) {
+        if let Some(f) = fault.as_mut() {
+            f.apply(now, cores, mem);
+        }
+        for i in 0..cores.len() {
+            if done[i] {
+                continue;
+            }
+            if cores[i].is_done(&streams[i]) {
+                done[i] = true;
+                continue;
+            }
+            cores[i]
+                .try_step(mem, &mut streams[i], now)
+                .map_err(|e| SimError::from_core(*e, mem))?;
+        }
+        if let Some(a) = auditor.as_mut() {
+            a.check(now, cores, mem)?;
+        }
+        now += 1;
+    }
+    if let Some(a) = auditor.as_mut() {
+        a.finalize(now, cores, mem)?;
+    }
+    Ok(now.saturating_sub(1))
+}
+
+fn collect_result(cycles: u64, cores: &[Core], mem: &MemorySystem) -> RunResult {
+    RunResult {
+        cycles,
+        committed: cores.iter().map(|c| c.stats().committed.get()).sum(),
+        core_stats: cores.iter().map(|c| c.stats().clone()).collect(),
+        mem_stats: (0..cores.len()).map(|i| mem.stats(i).clone()).collect(),
+        bus_transactions: mem.bus().transactions(),
+        bus_busy_cycles: mem.bus().busy_cycles(),
+    }
+}
 
 /// The trace-driven performance model: a [`SystemConfig`] ready to run
 /// traces.
@@ -47,6 +129,19 @@ impl PerformanceModel {
         self.run_traces(std::slice::from_ref(trace))
     }
 
+    /// Fallible variant of [`PerformanceModel::run_trace`]: a wedged
+    /// pipeline or (in checked mode) an invariant violation is returned as
+    /// a structured [`SimError`] instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Panics on contract misuse (non-uniprocessor config), never on a
+    /// simulation fault.
+    pub fn try_run_trace(&self, trace: &VecTrace, opts: RunOptions) -> Result<RunResult, SimError> {
+        assert_eq!(self.config.cpus, 1, "run_trace is for uniprocessor configs");
+        self.try_run_traces(std::slice::from_ref(trace), opts)
+    }
+
     /// Runs one trace per CPU, lock-stepped cycle by cycle over the shared
     /// memory system. The run ends when every CPU has drained; CPUs that
     /// finish early sit idle (their commit counts still contribute).
@@ -55,6 +150,22 @@ impl PerformanceModel {
     ///
     /// Panics unless exactly `cpus` traces are supplied.
     pub fn run_traces(&self, traces: &[VecTrace]) -> RunResult {
+        self.try_run_traces(traces, RunOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`PerformanceModel::run_traces`]; see
+    /// [`RunOptions`] for checked mode and fault injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics on contract misuse (trace count mismatch), never on a
+    /// simulation fault.
+    pub fn try_run_traces(
+        &self,
+        traces: &[VecTrace],
+        opts: RunOptions,
+    ) -> Result<RunResult, SimError> {
         assert_eq!(
             traces.len(),
             self.config.cpus,
@@ -67,34 +178,8 @@ impl PerformanceModel {
             .map(|i| Core::new(self.config.core.clone(), i))
             .collect();
         let mut streams: Vec<SliceStream<'_>> = traces.iter().map(|t| t.stream()).collect();
-        let mut done: Vec<bool> = vec![false; cores.len()];
-
-        let mut now = 0u64;
-        while done.iter().any(|d| !d) {
-            for (i, core) in cores.iter_mut().enumerate() {
-                if done[i] {
-                    continue;
-                }
-                if core.is_done(&streams[i]) {
-                    done[i] = true;
-                    continue;
-                }
-                core.step(&mut mem, &mut streams[i], now);
-            }
-            now += 1;
-        }
-
-        let committed = cores.iter().map(|c| c.stats().committed.get()).sum();
-        RunResult {
-            cycles: now.saturating_sub(1),
-            committed,
-            core_stats: cores.iter().map(|c| c.stats().clone()).collect(),
-            mem_stats: (0..self.config.cpus)
-                .map(|i| mem.stats(i).clone())
-                .collect(),
-            bus_transactions: mem.bus().transactions(),
-            bus_busy_cycles: mem.bus().busy_cycles(),
-        }
+        let cycles = drive(&mut cores, &mut mem, &mut streams, opts)?;
+        Ok(collect_result(cycles, &cores, &mem))
     }
 
     /// Runs a single trace on a uniprocessor system, using the first
@@ -113,6 +198,25 @@ impl PerformanceModel {
         self.run_traces_warm(std::slice::from_ref(trace), warmup)
     }
 
+    /// Fallible variant of [`PerformanceModel::run_trace_warm`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on contract misuse (non-UP config, warm-up longer than the
+    /// trace), never on a simulation fault.
+    pub fn try_run_trace_warm(
+        &self,
+        trace: &VecTrace,
+        warmup: usize,
+        opts: RunOptions,
+    ) -> Result<RunResult, SimError> {
+        assert_eq!(
+            self.config.cpus, 1,
+            "run_trace_warm is for uniprocessor configs"
+        );
+        self.try_run_traces_warm(std::slice::from_ref(trace), warmup, opts)
+    }
+
     /// SMP variant of [`PerformanceModel::run_trace_warm`]: warms each CPU
     /// on its first `warmup` records (interleaved across CPUs so shared
     /// lines end in a realistic mixed state), then times the rest.
@@ -121,6 +225,23 @@ impl PerformanceModel {
     ///
     /// Panics unless every trace is longer than `warmup`.
     pub fn run_traces_warm(&self, traces: &[VecTrace], warmup: usize) -> RunResult {
+        self.try_run_traces_warm(traces, warmup, RunOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`PerformanceModel::run_traces_warm`]; see
+    /// [`RunOptions`] for checked mode and fault injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics on contract misuse (trace count mismatch, warm-up longer
+    /// than a trace), never on a simulation fault.
+    pub fn try_run_traces_warm(
+        &self,
+        traces: &[VecTrace],
+        warmup: usize,
+        opts: RunOptions,
+    ) -> Result<RunResult, SimError> {
         assert_eq!(traces.len(), self.config.cpus, "need one trace per CPU");
         assert!(
             traces.iter().all(|t| t.len() > warmup),
@@ -148,33 +269,8 @@ impl PerformanceModel {
             .iter()
             .map(|t| SliceStream::new(&t.records()[warmup..]))
             .collect();
-        let mut done: Vec<bool> = vec![false; cores.len()];
-        let mut now = 0u64;
-        while done.iter().any(|d| !d) {
-            for (i, core) in cores.iter_mut().enumerate() {
-                if done[i] {
-                    continue;
-                }
-                if core.is_done(&streams[i]) {
-                    done[i] = true;
-                    continue;
-                }
-                core.step(&mut mem, &mut streams[i], now);
-            }
-            now += 1;
-        }
-
-        let committed = cores.iter().map(|c| c.stats().committed.get()).sum();
-        RunResult {
-            cycles: now.saturating_sub(1),
-            committed,
-            core_stats: cores.iter().map(|c| c.stats().clone()).collect(),
-            mem_stats: (0..self.config.cpus)
-                .map(|i| mem.stats(i).clone())
-                .collect(),
-            bus_transactions: mem.bus().transactions(),
-            bus_busy_cycles: mem.bus().busy_cycles(),
-        }
+        let cycles = drive(&mut cores, &mut mem, &mut streams, opts)?;
+        Ok(collect_result(cycles, &cores, &mem))
     }
 
     /// Sampled simulation (§2.2: the paper samples its TPC-C captures):
@@ -284,6 +380,31 @@ mod tests {
         let b = model.run_trace(&t);
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.committed, b.committed);
+    }
+
+    #[test]
+    fn checked_mode_changes_nothing_on_a_clean_run() {
+        let suite = Suite::preset(SuiteKind::SpecInt95);
+        let t = suite.programs()[0].generate(8_000, 5);
+        let model = PerformanceModel::new(SystemConfig::sparc64_v());
+        let plain = model.run_trace(&t);
+        let checked = model
+            .try_run_trace(&t, RunOptions::checked())
+            .expect("no invariant fires on an unfaulted run");
+        assert_eq!(plain.cycles, checked.cycles);
+        assert_eq!(plain.committed, checked.committed);
+    }
+
+    #[test]
+    fn checked_smp_run_is_clean_too() {
+        let traces = smp_traces(&tpcc_program(), 2, 10_000, 3);
+        let model = PerformanceModel::new(SystemConfig::smp(2));
+        let plain = model.run_traces(&traces);
+        let checked = model
+            .try_run_traces(&traces, RunOptions::checked())
+            .expect("no invariant fires on an unfaulted SMP run");
+        assert_eq!(plain.cycles, checked.cycles);
+        assert_eq!(plain.committed, checked.committed);
     }
 
     #[test]

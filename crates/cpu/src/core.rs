@@ -9,6 +9,7 @@
 
 use crate::bpred::Bht;
 use crate::config::CoreConfig;
+use crate::error::{CoreError, CoreFault, HeadInstr, PipelineSnapshot, RsOccupancy};
 use crate::lsq::LoadStoreQueues;
 use crate::rename::{RenameMap, RenamePool};
 use crate::rob::{InstrState, Rob};
@@ -176,14 +177,33 @@ impl Core {
     /// # Panics
     ///
     /// Panics if the pipeline makes no progress for an implausible number
-    /// of cycles (a model bug).
+    /// of cycles (a model bug). [`Core::try_step`] reports the same
+    /// condition as a structured [`CoreError`] instead.
     pub fn step<S: TraceStream>(&mut self, mem: &mut MemorySystem, stream: &mut S, now: u64) {
+        if let Err(e) = self.try_step(mem, stream, now) {
+            panic!("{e}");
+        }
+    }
+
+    /// Advances one cycle, reporting a wedged pipeline (no commit progress
+    /// past the deadlock horizon with instructions in flight — a model
+    /// bug, never a workload property) as a [`CoreError`] carrying a
+    /// cycle-stamped [`PipelineSnapshot`].
+    pub fn try_step<S: TraceStream>(
+        &mut self,
+        mem: &mut MemorySystem,
+        stream: &mut S,
+        now: u64,
+    ) -> Result<(), Box<CoreError>> {
         self.writeback(now);
         let committed = self.commit(now);
         let blame = self.stall_blame(committed);
         self.stats.stall_cycles.record(blame);
         self.memory_issue(mem, now);
         self.dispatch(now);
+        // Parked replays reclaim freed slots before decode allocates new
+        // entries, so cancelled instructions keep age priority.
+        self.rs.drain_replays();
         self.decode(now);
         self.fetch(mem, stream, now);
 
@@ -202,40 +222,126 @@ impl Core {
             self.last_commit_cycle = now;
         }
         if !self.rob.is_empty() && now.saturating_sub(self.last_commit_cycle) > DEADLOCK_HORIZON {
-            panic!(
-                "core {} wedged at cycle {now}: head {:?}",
-                self.core_id,
-                self.rob
-                    .head()
-                    .map(|e| (e.seq, e.rec.instr.op, e.dispatched, e.completed))
-            );
+            // Boxed so the per-cycle return value stays a word wide; the
+            // error path is taken at most once per run.
+            return Err(Box::new(CoreError {
+                fault: CoreFault::Wedged {
+                    horizon: DEADLOCK_HORIZON,
+                },
+                snapshot: self.snapshot(now),
+            }));
         }
+        Ok(())
     }
 
     /// Runs a whole trace to completion on a fresh cycle counter, returning
     /// the final cycle count.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`Core::try_run`] would return an error.
     pub fn run<S: TraceStream>(&mut self, mem: &mut MemorySystem, stream: &mut S) -> u64 {
         self.run_from(mem, stream, 0)
+    }
+
+    /// Fallible form of [`Core::run`].
+    pub fn try_run<S: TraceStream>(
+        &mut self,
+        mem: &mut MemorySystem,
+        stream: &mut S,
+    ) -> Result<u64, Box<CoreError>> {
+        self.try_run_from(mem, stream, 0)
     }
 
     /// Runs a stream to completion starting at `start_cycle` (sampled
     /// simulation times several windows against one shared memory system,
     /// whose resource reservations must stay monotonic). Returns the cycle
     /// after the last step.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`Core::try_run_from`] would return an error.
     pub fn run_from<S: TraceStream>(
         &mut self,
         mem: &mut MemorySystem,
         stream: &mut S,
         start_cycle: u64,
     ) -> u64 {
+        match self.try_run_from(mem, stream, start_cycle) {
+            Ok(now) => now,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Core::run_from`]: a wedged pipeline surfaces as
+    /// a [`CoreError`] instead of a panic.
+    pub fn try_run_from<S: TraceStream>(
+        &mut self,
+        mem: &mut MemorySystem,
+        stream: &mut S,
+        start_cycle: u64,
+    ) -> Result<u64, Box<CoreError>> {
         let mut now = start_cycle;
         self.next_fetch_at = self.next_fetch_at.max(start_cycle);
         self.last_commit_cycle = self.last_commit_cycle.max(start_cycle);
         while !self.is_done(stream) {
-            self.step(mem, stream, now);
+            self.try_step(mem, stream, now)?;
             now += 1;
         }
-        now
+        Ok(now)
+    }
+
+    /// A cycle-stamped snapshot of the pipeline state: ROB head/tail and
+    /// occupancy, per-station RS occupancy, LSQ occupancy, fetch-queue
+    /// depth and commit progress. Plain `Copy` data, cheap enough to take
+    /// every audited cycle.
+    pub fn snapshot(&self, now: u64) -> PipelineSnapshot {
+        let head = self.rob.head().map(|e| HeadInstr {
+            seq: e.seq,
+            op: e.rec.instr.op,
+            dispatched: e.dispatched,
+            completed: e.completed,
+        });
+        let rs_occupancy = |kind| RsOccupancy {
+            kind,
+            occupancy: self.rs.occupancy(kind),
+            capacity: self.rs.capacity(kind),
+        };
+        PipelineSnapshot {
+            cycle: now,
+            core_id: self.core_id,
+            rob_len: self.rob.len(),
+            rob_capacity: self.rob.capacity(),
+            next_seq: self.rob.next_seq(),
+            committed: self.stats.committed.get(),
+            head,
+            rs: [
+                rs_occupancy(RsKind::Rse),
+                rs_occupancy(RsKind::Rsf),
+                rs_occupancy(RsKind::Rsa),
+                rs_occupancy(RsKind::Rsbr),
+            ],
+            loads_in_flight: self.lsq.loads_in_flight(),
+            load_queue: self.cfg.load_queue as usize,
+            stores_in_flight: self.lsq.stores_in_flight(),
+            store_queue: self.cfg.store_queue as usize,
+            fetch_queue_len: self.fetch_queue.len(),
+            last_commit_cycle: self.last_commit_cycle,
+        }
+    }
+
+    /// Fault-injection hook: marks `n` reservation-station slots of `kind`
+    /// as stuck-held (see `ReservationStations::fault_stall_slots`).
+    #[doc(hidden)]
+    pub fn fault_stall_rs_slots(&mut self, kind: RsKind, n: usize) {
+        self.rs.fault_stall_slots(kind, n);
+    }
+
+    /// Fault-injection hook: rewinds the committed-instruction counter to
+    /// zero, violating commit monotonicity for the auditor to catch.
+    #[doc(hidden)]
+    pub fn fault_rewind_committed(&mut self) {
+        self.stats.committed.reset();
     }
 
     // ----- writeback ------------------------------------------------------
@@ -807,7 +913,9 @@ impl Core {
 
         match rec.instr.op.rs_kind() {
             Some(kind) => {
-                entry.rs_buffer = self.rs.insert(kind, seq);
+                let buffer = self.rs.try_insert(kind, seq);
+                debug_assert!(buffer.is_some(), "decode_stall_reason checked RS space");
+                entry.rs_buffer = buffer.unwrap_or(0);
             }
             None => {
                 // Nops retire without executing.

@@ -18,6 +18,7 @@
 pub mod bpred;
 pub mod config;
 pub mod core;
+pub mod error;
 pub mod lsq;
 pub mod rename;
 pub mod rob;
@@ -28,5 +29,6 @@ pub mod timeline;
 pub use crate::core::Core;
 pub use bpred::{Bht, BhtConfig};
 pub use config::{CoreConfig, RsScheme};
+pub use error::{CoreError, CoreFault, HeadInstr, PipelineSnapshot, RsOccupancy};
 pub use stats::CoreStats;
 pub use timeline::{InstrTimeline, PipelineTrace};

@@ -26,6 +26,22 @@ pub struct ReservationStations {
     rsbr_entries: usize,
     steer_rse: u8,
     steer_rsf: u8,
+    /// Cancelled instructions whose home buffer refilled before they could
+    /// return (per kind, `(buffer, seq)` in age order). They re-enter the
+    /// station as slots free, so physical capacity is never exceeded.
+    replay_parked: [Vec<(u8, u64)>; 4],
+    /// Fault-injection: slots reported as stuck-held per kind (in
+    /// [`RsKind::ALL`] order). Always zero outside seeded fault runs.
+    stuck: [usize; 4],
+}
+
+fn kind_index(kind: RsKind) -> usize {
+    match kind {
+        RsKind::Rse => 0,
+        RsKind::Rsf => 1,
+        RsKind::Rsa => 2,
+        RsKind::Rsbr => 3,
+    }
 }
 
 impl ReservationStations {
@@ -43,6 +59,8 @@ impl ReservationStations {
             rsbr_entries: cfg.rsbr_entries as usize,
             steer_rse: 0,
             steer_rsf: 0,
+            replay_parked: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            stuck: [0; 4],
         }
     }
 
@@ -63,74 +81,130 @@ impl ReservationStations {
     }
 
     /// Inserts `seq` into a station of `kind`, returning the buffer index
-    /// it was steered to (always 0 except RSE/RSF in the split scheme).
+    /// it was steered to (always 0 except RSE/RSF in the split scheme), or
+    /// `None` if every eligible buffer is full.
     ///
-    /// # Panics
-    ///
-    /// Panics if the station is full ([`Self::has_space`] first).
-    pub fn insert(&mut self, kind: RsKind, seq: u64) -> u8 {
+    /// Decode gates every allocation on [`Self::has_space`], so a `None`
+    /// is unreachable by construction on the simulation path; the
+    /// occupancy-within-capacity condition itself is audited as an
+    /// integrity invariant in checked mode.
+    pub fn try_insert(&mut self, kind: RsKind, seq: u64) -> Option<u8> {
         match kind {
             RsKind::Rse => {
                 let buf = Self::steer(
-                    &mut self.rse,
+                    &self.rse,
                     self.scheme,
                     self.rse_per_buffer,
                     &mut self.steer_rse,
-                );
+                )?;
                 self.rse[buf as usize].push(seq);
-                buf
+                Some(buf)
             }
             RsKind::Rsf => {
                 let buf = Self::steer(
-                    &mut self.rsf,
+                    &self.rsf,
                     self.scheme,
                     self.rsf_per_buffer,
                     &mut self.steer_rsf,
-                );
+                )?;
                 self.rsf[buf as usize].push(seq);
-                buf
+                Some(buf)
             }
             RsKind::Rsa => {
-                assert!(self.rsa.len() < self.rsa_entries, "RSA full");
+                if self.rsa.len() >= self.rsa_entries {
+                    return None;
+                }
                 self.rsa.push(seq);
-                0
+                Some(0)
             }
             RsKind::Rsbr => {
-                assert!(self.rsbr.len() < self.rsbr_entries, "RSBR full");
+                if self.rsbr.len() >= self.rsbr_entries {
+                    return None;
+                }
                 self.rsbr.push(seq);
-                0
+                Some(0)
             }
         }
     }
 
-    fn steer(buffers: &mut [Buffer; 2], scheme: RsScheme, per_buffer: usize, rr: &mut u8) -> u8 {
+    fn steer(
+        buffers: &[Buffer; 2],
+        scheme: RsScheme,
+        per_buffer: usize,
+        rr: &mut u8,
+    ) -> Option<u8> {
         match scheme {
-            RsScheme::Unified => {
-                assert!(buffers[0].len() < 2 * per_buffer, "unified RS full");
-                0
-            }
+            RsScheme::Unified => (buffers[0].len() < 2 * per_buffer).then_some(0),
             RsScheme::Split => {
                 // Round-robin steering, skipping a full buffer.
                 let first = *rr % 2;
                 let second = (first + 1) % 2;
                 *rr = rr.wrapping_add(1);
                 if buffers[first as usize].len() < per_buffer {
-                    first
+                    Some(first)
                 } else if buffers[second as usize].len() < per_buffer {
-                    second
+                    Some(second)
                 } else {
-                    panic!("both RS buffers full");
+                    None
                 }
             }
         }
     }
 
     /// Re-inserts a cancelled instruction into the buffer it came from,
-    /// keeping age order.
+    /// keeping age order. Decode may have refilled the slot freed at
+    /// dispatch; in that case the instruction is parked in a replay skid
+    /// buffer and re-enters via [`Self::drain_replays`] once a slot frees,
+    /// so the station never physically exceeds its capacity.
     pub fn reinsert(&mut self, kind: RsKind, buffer: u8, seq: u64) {
-        let buf = self.buffer_mut(kind, buffer);
-        let pos = buf.partition_point(|&s| s < seq);
-        buf.insert(pos, seq);
+        if self.buffer_has_space(kind, buffer) {
+            let buf = self.buffer_mut(kind, buffer);
+            let pos = buf.partition_point(|&s| s < seq);
+            buf.insert(pos, seq);
+        } else {
+            let parked = &mut self.replay_parked[kind_index(kind)];
+            let pos = parked.partition_point(|&(_, s)| s < seq);
+            parked.insert(pos, (buffer, seq));
+        }
+    }
+
+    /// Moves parked replays back into their home buffers, oldest first, as
+    /// far as freed slots allow. Call once per cycle after dispatch and
+    /// before decode allocates new entries.
+    pub fn drain_replays(&mut self) {
+        for k in 0..4 {
+            if self.replay_parked[k].is_empty() {
+                continue;
+            }
+            let kind = RsKind::ALL[k];
+            let mut parked = std::mem::take(&mut self.replay_parked[k]);
+            parked.retain(|&(buffer, seq)| {
+                if self.buffer_has_space(kind, buffer) {
+                    let buf = self.buffer_mut(kind, buffer);
+                    let pos = buf.partition_point(|&s| s < seq);
+                    buf.insert(pos, seq);
+                    false
+                } else {
+                    true
+                }
+            });
+            self.replay_parked[k] = parked;
+        }
+    }
+
+    fn buffer_has_space(&self, kind: RsKind, buffer: u8) -> bool {
+        match kind {
+            RsKind::Rse => match self.scheme {
+                RsScheme::Split => self.rse[buffer as usize].len() < self.rse_per_buffer,
+                RsScheme::Unified => self.rse[0].len() < 2 * self.rse_per_buffer,
+            },
+            RsKind::Rsf => match self.scheme {
+                RsScheme::Split => self.rsf[buffer as usize].len() < self.rsf_per_buffer,
+                RsScheme::Unified => self.rsf[0].len() < 2 * self.rsf_per_buffer,
+            },
+            RsKind::Rsa => self.rsa.len() < self.rsa_entries,
+            RsKind::Rsbr => self.rsbr.len() < self.rsbr_entries,
+        }
     }
 
     fn buffer_mut(&mut self, kind: RsKind, buffer: u8) -> &mut Buffer {
@@ -213,19 +287,42 @@ impl ReservationStations {
         out
     }
 
-    /// Total entries waiting in stations of `kind`.
+    /// Total entries waiting in stations of `kind` (stuck-slot faults
+    /// count as held entries).
     pub fn occupancy(&self, kind: RsKind) -> usize {
-        match kind {
+        let real = match kind {
             RsKind::Rse => self.rse.iter().map(Vec::len).sum(),
             RsKind::Rsf => self.rsf.iter().map(Vec::len).sum(),
             RsKind::Rsa => self.rsa.len(),
             RsKind::Rsbr => self.rsbr.len(),
+        };
+        real + self.stuck[kind_index(kind)]
+    }
+
+    /// Configured capacity of stations of `kind` (both buffers combined
+    /// for RSE/RSF).
+    pub fn capacity(&self, kind: RsKind) -> usize {
+        match kind {
+            RsKind::Rse => 2 * self.rse_per_buffer,
+            RsKind::Rsf => 2 * self.rsf_per_buffer,
+            RsKind::Rsa => self.rsa_entries,
+            RsKind::Rsbr => self.rsbr_entries,
         }
     }
 
-    /// Whether every station is empty.
+    /// Fault-injection hook: marks `n` slots of `kind` as stuck-held, as
+    /// if a release was lost. The slots never free and never dispatch, so
+    /// the reported occupancy drifts past the capacity — exactly the
+    /// corruption the integrity auditor's RS invariant exists to catch.
+    #[doc(hidden)]
+    pub fn fault_stall_slots(&mut self, kind: RsKind, n: usize) {
+        self.stuck[kind_index(kind)] += n;
+    }
+
+    /// Whether every station is empty (including the replay skid buffers).
     pub fn is_empty(&self) -> bool {
         RsKind::ALL.iter().all(|&k| self.occupancy(k) == 0)
+            && self.replay_parked.iter().all(Vec::is_empty)
     }
 }
 
@@ -247,7 +344,7 @@ mod tests {
         let mut rs = split();
         // Steered round-robin: seqs 0,2 -> buffer 0; 1,3 -> buffer 1.
         for s in 0..4 {
-            rs.insert(RsKind::Rse, s);
+            rs.try_insert(RsKind::Rse, s);
         }
         let picked = rs.select_dispatch(RsKind::Rse, |_| true, |_| true);
         assert_eq!(picked.len(), 2);
@@ -260,8 +357,8 @@ mod tests {
     #[test]
     fn split_cannot_dispatch_two_from_one_buffer() {
         let mut rs = split();
-        let b0 = rs.insert(RsKind::Rse, 0);
-        let b1 = rs.insert(RsKind::Rse, 1);
+        let b0 = rs.try_insert(RsKind::Rse, 0);
+        let b1 = rs.try_insert(RsKind::Rse, 1);
         assert_ne!(b0, b1, "round-robin steering");
         // Only the entry in buffer 0 is ready.
         let picked = rs.select_dispatch(RsKind::Rse, |s| s == 0, |_| true);
@@ -276,7 +373,7 @@ mod tests {
     fn unified_dispatches_two_from_the_pool() {
         let mut rs = unified();
         for s in 0..4 {
-            rs.insert(RsKind::Rse, s);
+            rs.try_insert(RsKind::Rse, s);
         }
         // Entries 2 and 3 ready: the pooled scheme can still dispatch both.
         let picked = rs.select_dispatch(RsKind::Rse, |s| s >= 2, |_| true);
@@ -289,7 +386,7 @@ mod tests {
     fn oldest_ready_first() {
         let mut rs = split();
         for s in 0..3 {
-            rs.insert(RsKind::Rsa, s);
+            rs.try_insert(RsKind::Rsa, s);
         }
         let picked = rs.select_dispatch(RsKind::Rsa, |s| s != 0, |_| true);
         let seqs: Vec<u64> = picked.iter().map(|&(s, _, _)| s).collect();
@@ -300,7 +397,7 @@ mod tests {
     fn rsbr_dispatches_at_most_one() {
         let mut rs = split();
         for s in 0..3 {
-            rs.insert(RsKind::Rsbr, s);
+            rs.try_insert(RsKind::Rsbr, s);
         }
         let picked = rs.select_dispatch(RsKind::Rsbr, |_| true, |_| true);
         assert_eq!(picked.len(), 1);
@@ -310,7 +407,7 @@ mod tests {
     #[test]
     fn busy_unit_blocks_its_buffer() {
         let mut rs = split();
-        rs.insert(RsKind::Rse, 0); // buffer 0
+        rs.try_insert(RsKind::Rse, 0); // buffer 0
         let picked = rs.select_dispatch(RsKind::Rse, |_| true, |u| u != 0);
         assert!(picked.is_empty(), "unit 0 busy, buffer 0 cannot dispatch");
     }
@@ -320,11 +417,11 @@ mod tests {
         let mut rs = split();
         for s in 0..16 {
             assert!(rs.has_space(RsKind::Rse));
-            rs.insert(RsKind::Rse, s);
+            rs.try_insert(RsKind::Rse, s);
         }
         assert!(!rs.has_space(RsKind::Rse));
         for s in 0..10 {
-            rs.insert(RsKind::Rsa, s);
+            rs.try_insert(RsKind::Rsa, s);
         }
         assert!(!rs.has_space(RsKind::Rsa));
     }
@@ -332,8 +429,8 @@ mod tests {
     #[test]
     fn reinsert_restores_age_order() {
         let mut rs = split();
-        rs.insert(RsKind::Rsa, 0);
-        rs.insert(RsKind::Rsa, 2);
+        rs.try_insert(RsKind::Rsa, 0);
+        rs.try_insert(RsKind::Rsa, 2);
         rs.reinsert(RsKind::Rsa, 0, 1);
         let picked = rs.select_dispatch(RsKind::Rsa, |_| true, |_| true);
         let seqs: Vec<u64> = picked.iter().map(|&(s, _, _)| s).collect();
@@ -345,11 +442,39 @@ mod tests {
     }
 
     #[test]
+    fn replay_into_a_refilled_buffer_parks_instead_of_overflowing() {
+        let mut rs = split();
+        for s in 0..16 {
+            rs.try_insert(RsKind::Rse, s);
+        }
+        // Dispatch seq 0 from buffer 0, then let decode refill the slot.
+        let picked = rs.select_dispatch(RsKind::Rse, |s| s == 0, |_| true);
+        assert_eq!(picked.len(), 1);
+        assert_eq!(rs.try_insert(RsKind::Rse, 16), Some(0));
+        assert!(!rs.has_space(RsKind::Rse));
+
+        // The cancelled instruction finds its home buffer full: it must
+        // park rather than push the station past its physical capacity.
+        rs.reinsert(RsKind::Rse, 0, 0);
+        rs.drain_replays();
+        assert_eq!(rs.occupancy(RsKind::Rse), 16);
+        assert!(!rs.is_empty());
+
+        // Once a slot frees, the parked entry re-enters with age priority.
+        let picked = rs.select_dispatch(RsKind::Rse, |s| s == 2, |_| true);
+        assert_eq!(picked.len(), 1);
+        rs.drain_replays();
+        assert_eq!(rs.occupancy(RsKind::Rse), 16);
+        let picked = rs.select_dispatch(RsKind::Rse, |_| true, |u| u == 0);
+        assert_eq!(picked[0].0, 0, "the replayed entry is oldest in buffer 0");
+    }
+
+    #[test]
     fn unified_pool_has_double_capacity() {
         let mut rs = unified();
         for s in 0..16 {
             assert!(rs.has_space(RsKind::Rse), "entry {s} must fit");
-            rs.insert(RsKind::Rse, s);
+            rs.try_insert(RsKind::Rse, s);
         }
         assert!(!rs.has_space(RsKind::Rse));
     }

@@ -2,14 +2,17 @@
 //!
 //! ```text
 //! campaign [--figures all|name,name,...] [--threads N]
-//!          [--cache-dir DIR] [--no-cache] [--quiet] [--list]
+//!          [--cache-dir DIR] [--no-cache] [--checked] [--quiet] [--list]
 //! ```
 //!
 //! Run sizes come from the usual `S64V_*` environment variables;
-//! `--threads`/`--cache-dir`/`--no-cache` override `S64V_THREADS`,
-//! `S64V_CACHE_DIR` and `S64V_NO_CACHE`. Exits nonzero if any point
-//! failed to simulate or any figure failed to render (including a model
-//! verification mismatch).
+//! `--threads`/`--cache-dir`/`--no-cache`/`--checked` override
+//! `S64V_THREADS`, `S64V_CACHE_DIR`, `S64V_NO_CACHE` and `S64V_CHECKED`.
+//! `--checked` runs every point under the invariant auditor (identical
+//! results, simulation-integrity errors instead of silent corruption);
+//! failed points leave a JSON diagnostic dump next to their cache entry.
+//! Exits nonzero if any point failed to simulate or any figure failed to
+//! render (including a model verification mismatch).
 
 use s64v_harness::figures::{figure_names, run_figures, EngineOpts};
 use s64v_harness::progress::ProgressEvent;
@@ -19,7 +22,7 @@ use std::sync::mpsc;
 fn usage() -> ! {
     eprintln!(
         "usage: campaign [--figures all|name,name,...] [--threads N]\n\
-         \x20               [--cache-dir DIR] [--no-cache] [--quiet] [--list]"
+         \x20               [--cache-dir DIR] [--no-cache] [--checked] [--quiet] [--list]"
     );
     std::process::exit(2);
 }
@@ -44,6 +47,7 @@ fn main() {
                 engine.cache_dir = Some(args.next().unwrap_or_else(|| usage()).into());
             }
             "--no-cache" => engine.cache_dir = None,
+            "--checked" => engine.checked = true,
             "--quiet" => quiet = true,
             "--list" => {
                 for name in figure_names() {

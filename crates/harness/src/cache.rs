@@ -39,9 +39,21 @@ impl ResultCache {
     }
 
     /// Looks a point up; any unreadable or unparsable file is a miss.
+    /// An entry that *exists* but does not parse is corruption (a partial
+    /// write survived a crash, or the bytes were damaged in place), so
+    /// the miss is accompanied by a warning — the point silently
+    /// re-simulates and the next store repairs the entry.
     pub fn load(&self, fp: Fingerprint) -> Option<PointMetrics> {
-        let text = std::fs::read_to_string(self.path_of(fp)).ok()?;
-        parse(&text)
+        let path = self.path_of(fp);
+        let text = std::fs::read_to_string(&path).ok()?;
+        let parsed = parse(&text);
+        if parsed.is_none() {
+            eprintln!(
+                "warning: corrupted cache entry {} (treating as a miss)",
+                path.display()
+            );
+        }
+        parsed
     }
 
     /// Stores a point's metrics. Written via a temporary file and rename
@@ -50,6 +62,19 @@ impl ResultCache {
         let tmp = self.dir.join(format!("{fp}.tmp"));
         std::fs::write(&tmp, encode(m))?;
         std::fs::rename(&tmp, self.path_of(fp))
+    }
+
+    /// The diagnostic-dump file a failed point's fingerprint maps to,
+    /// next to where its result would have been cached.
+    pub fn failure_path_of(&self, fp: Fingerprint) -> PathBuf {
+        self.dir.join(format!("{fp}.fail.json"))
+    }
+
+    /// Writes a failed point's JSON diagnostic dump and returns its path.
+    pub fn store_failure(&self, fp: Fingerprint, json: &str) -> std::io::Result<PathBuf> {
+        let path = self.failure_path_of(fp);
+        std::fs::write(&path, json)?;
+        Ok(path)
     }
 }
 
@@ -176,6 +201,30 @@ mod tests {
         assert_eq!(cache.load(fp), None);
         cache.store(fp, &sample()).expect("store");
         assert_eq!(cache.load(fp), Some(sample()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn in_place_corruption_is_a_miss_and_a_restore_repairs_it() {
+        let dir = std::env::temp_dir().join(format!("s64v-cache-corrupt-{}", std::process::id()));
+        let cache = ResultCache::open(&dir).expect("create");
+        let fp = {
+            let mut h = s64v_core::StableHasher::new();
+            h.write_str("corruption-test");
+            h.finish()
+        };
+        cache.store(fp, &sample()).expect("store");
+
+        // Damage the entry in place (flip a header byte), as a crashed or
+        // interfering writer would.
+        let path = cache.path_of(fp);
+        let mut bytes = std::fs::read(&path).expect("read entry");
+        bytes[0] ^= 0xff;
+        std::fs::write(&path, &bytes).expect("rewrite entry");
+
+        assert_eq!(cache.load(fp), None, "corruption must read as a miss");
+        cache.store(fp, &sample()).expect("restore");
+        assert_eq!(cache.load(fp), Some(sample()), "a fresh store repairs it");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

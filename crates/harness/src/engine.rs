@@ -8,36 +8,84 @@
 //! point runs, never *what* it computes.
 //!
 //! Per point, in order: consult the content-addressed cache (hit = no
-//! simulation), else simulate under `catch_unwind` so a panicking point
-//! is recorded as failed without taking the campaign down, then store
-//! and journal the outcome.
+//! simulation), else simulate. A structured simulation fault
+//! ([`SimError`]: a wedged pipeline, or an invariant violation in
+//! checked mode) fails the point gracefully — the error is journaled, a
+//! JSON diagnostic dump lands next to the point's cache entry, and the
+//! campaign continues. `catch_unwind` remains as a backstop for contract
+//! panics, so no single point can take the campaign down either way.
 
 use crate::cache::ResultCache;
 use crate::journal::{journal_path, FailedPoint, Journal};
 use crate::progress::{CampaignReport, ProgressEvent};
 use crate::spec::{CampaignSpec, PointMetrics, SimPoint, WorkUnit};
-use s64v_core::{compare, PerformanceModel, RunResult};
+use s64v_core::{compare, PerformanceModel, RunOptions, RunResult, SimError};
 use s64v_workloads::{smp_traces, suite::tpcc_program, Suite};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::Mutex;
 use std::time::Instant;
 
+/// How one point ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointOutcome {
+    /// The point simulated (or cache-hit) successfully.
+    Metrics(PointMetrics),
+    /// The point failed; the campaign continued without it.
+    Failed {
+        /// The simulation error or panic message.
+        error: String,
+        /// JSON diagnostic dump, written next to the point's cache entry
+        /// when the failure was a structured [`SimError`] and a cache
+        /// directory was configured.
+        dump_path: Option<PathBuf>,
+    },
+}
+
+impl PointOutcome {
+    /// The metrics, if the point succeeded.
+    pub fn metrics(&self) -> Option<&PointMetrics> {
+        match self {
+            PointOutcome::Metrics(m) => Some(m),
+            PointOutcome::Failed { .. } => None,
+        }
+    }
+}
+
 /// Everything a campaign run produced.
 #[derive(Debug)]
 pub struct CampaignOutcome {
-    /// Per-point metrics, index-aligned with the spec's point list
-    /// (`None` = the point failed).
-    pub results: Vec<Option<PointMetrics>>,
-    /// This run's failures as (point index, panic message).
-    pub failures: Vec<(usize, String)>,
+    /// Per-point outcomes, index-aligned with the spec's point list.
+    pub outcomes: Vec<PointOutcome>,
     /// Failures left in the journal by *previous* runs (resume context;
     /// empty without a cache directory).
     pub prior_failures: Vec<FailedPoint>,
     /// Aggregate counters for the run.
     pub report: CampaignReport,
+}
+
+impl CampaignOutcome {
+    /// Per-point metrics, index-aligned with the spec (`None` = failed).
+    pub fn results(&self) -> Vec<Option<&PointMetrics>> {
+        self.outcomes.iter().map(PointOutcome::metrics).collect()
+    }
+
+    /// This run's failures as (point index, error message, dump path).
+    pub fn failures(&self) -> Vec<(usize, &str, Option<&Path>)> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| match o {
+                PointOutcome::Metrics(_) => None,
+                PointOutcome::Failed { error, dump_path } => {
+                    Some((i, error.as_str(), dump_path.as_deref()))
+                }
+            })
+            .collect()
+    }
 }
 
 /// Per-worker deques with stealing: a worker drains its own deque from
@@ -77,16 +125,22 @@ impl StealDeques {
     }
 }
 
-/// Runs one point to completion. Pure: everything derives from the
-/// point, so equal fingerprints mean equal return values.
-pub fn execute_point(point: &SimPoint) -> PointMetrics {
+/// Runs one point to completion, returning a simulation fault (a wedged
+/// pipeline, or — in checked mode — an invariant violation) as a
+/// structured [`SimError`]. Pure: everything derives from the point and
+/// the options, so equal fingerprints mean equal return values.
+pub fn try_execute_point(point: &SimPoint, opts: RunOptions) -> Result<PointMetrics, SimError> {
     match point.work {
         WorkUnit::Program { suite, index } => {
             let programs = Suite::preset(suite);
             let trace =
                 programs.programs()[index].generate(point.records + point.warmup, point.seed);
             let model = PerformanceModel::new(point.config.clone());
-            metrics_from(&model.run_trace_warm(&trace, point.warmup))
+            Ok(metrics_from(&model.try_run_trace_warm(
+                &trace,
+                point.warmup,
+                opts,
+            )?))
         }
         WorkUnit::SmpTpcc => {
             let traces = smp_traces(
@@ -96,21 +150,33 @@ pub fn execute_point(point: &SimPoint) -> PointMetrics {
                 point.seed,
             );
             let model = PerformanceModel::new(point.config.clone());
-            metrics_from(&model.run_traces_warm(&traces, point.warmup))
+            Ok(metrics_from(&model.try_run_traces_warm(
+                &traces,
+                point.warmup,
+                opts,
+            )?))
         }
         WorkUnit::Verify { suite, index } => {
+            // `compare` drives both machines itself; checked mode and
+            // fault injection do not apply to the reference cross-check.
             let programs = Suite::preset(suite);
             let trace =
                 programs.programs()[index].generate(point.records + point.warmup, point.seed);
             let check = compare(&point.config, &trace, point.warmup);
-            PointMetrics {
+            Ok(PointMetrics {
                 cycles: check.model_cycles,
                 reference_cycles: check.reference_cycles,
                 same_work: check.passed(),
                 ..PointMetrics::default()
-            }
+            })
         }
     }
+}
+
+/// Panicking convenience wrapper around [`try_execute_point`] with
+/// default options.
+pub fn execute_point(point: &SimPoint) -> PointMetrics {
+    try_execute_point(point, RunOptions::default()).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Trace records a point covers (warm-up included, all CPUs).
@@ -193,7 +259,7 @@ pub fn run_campaign(
         .min(spec.points.len())
         .max(1);
     let deques = StealDeques::new(workers, spec.points.len());
-    let slots: Vec<Mutex<Option<Result<PointMetrics, String>>>> =
+    let slots: Vec<Mutex<Option<PointOutcome>>> =
         spec.points.iter().map(|_| Mutex::new(None)).collect();
     let cache_hits = AtomicUsize::new(0);
     let simulated_records = AtomicU64::new(0);
@@ -237,12 +303,19 @@ pub fn run_campaign(
                             records: point_records(point),
                             elapsed: point_start.elapsed(),
                         });
-                        *slots[index].lock().expect("slot poisoned") = Some(Ok(hit));
+                        *slots[index].lock().expect("slot poisoned") =
+                            Some(PointOutcome::Metrics(hit));
                         continue;
                     }
 
-                    match catch_unwind(AssertUnwindSafe(|| execute_point(point))) {
-                        Ok(metrics) => {
+                    let opts = RunOptions {
+                        checked: spec.checked,
+                        fault: spec.fault,
+                    };
+                    let outcome = match catch_unwind(AssertUnwindSafe(|| {
+                        try_execute_point(point, opts)
+                    })) {
+                        Ok(Ok(metrics)) => {
                             simulated_records.fetch_add(point_records(point), Ordering::Relaxed);
                             if let Some(c) = cache {
                                 // A failed store degrades the next run to a
@@ -259,9 +332,28 @@ pub fn run_campaign(
                                 records: point_records(point),
                                 elapsed: point_start.elapsed(),
                             });
-                            *slots[index].lock().expect("slot poisoned") = Some(Ok(metrics));
+                            PointOutcome::Metrics(metrics)
+                        }
+                        Ok(Err(sim)) => {
+                            // Structured simulation fault: dump the full
+                            // diagnostics next to the cache entry (best
+                            // effort) and keep the campaign going.
+                            let error = sim.to_string();
+                            let dump_path =
+                                cache.and_then(|c| c.store_failure(fp, &sim.to_json()).ok());
+                            if let Some(j) = journal {
+                                j.record_fail(fp, &label, &error);
+                            }
+                            send(&progress, || ProgressEvent::Failed {
+                                index,
+                                label: label.clone(),
+                                error: error.clone(),
+                            });
+                            PointOutcome::Failed { error, dump_path }
                         }
                         Err(payload) => {
+                            // Contract panic (misconfigured point); there
+                            // is no structured state to dump.
                             let error = panic_message(payload.as_ref());
                             if let Some(j) = journal {
                                 j.record_fail(fp, &label, &error);
@@ -271,41 +363,40 @@ pub fn run_campaign(
                                 label: label.clone(),
                                 error: error.clone(),
                             });
-                            *slots[index].lock().expect("slot poisoned") = Some(Err(error));
+                            PointOutcome::Failed {
+                                error,
+                                dump_path: None,
+                            }
                         }
-                    }
+                    };
+                    *slots[index].lock().expect("slot poisoned") = Some(outcome);
                 }
             });
         }
     });
     std::panic::set_hook(default_hook);
 
-    let mut results = Vec::with_capacity(spec.points.len());
-    let mut failures = Vec::new();
-    for (index, slot) in slots.into_iter().enumerate() {
-        match slot
-            .into_inner()
-            .expect("slot poisoned")
-            .expect("every point visited")
-        {
-            Ok(m) => results.push(Some(m)),
-            Err(e) => {
-                results.push(None);
-                failures.push((index, e));
-            }
-        }
-    }
-    let completed = results.iter().filter(|r| r.is_some()).count();
+    let outcomes: Vec<PointOutcome> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("every point visited")
+        })
+        .collect();
+    let completed = outcomes
+        .iter()
+        .filter(|o| matches!(o, PointOutcome::Metrics(_)))
+        .count();
     let report = CampaignReport {
         completed,
-        failed: failures.len(),
+        failed: outcomes.len() - completed,
         cache_hits: cache_hits.into_inner(),
         simulated_records: simulated_records.into_inner(),
         elapsed: start.elapsed(),
     };
     Ok(CampaignOutcome {
-        results,
-        failures,
+        outcomes,
         prior_failures,
         report,
     })
@@ -331,7 +422,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use s64v_core::SystemConfig;
+    use s64v_core::{FaultClass, FaultPlan, SystemConfig};
     use s64v_workloads::SuiteKind;
 
     fn program_point(records: usize, seed: u64) -> SimPoint {
@@ -354,10 +445,10 @@ mod tests {
             vec![program_point(3_000, 1), program_point(3_000, 2)],
         );
         let outcome = run_campaign(&spec, None).expect("run");
-        assert_eq!(outcome.results.len(), 2);
-        assert!(outcome.failures.is_empty());
-        let a = outcome.results[0].as_ref().expect("point 0");
-        let b = outcome.results[1].as_ref().expect("point 1");
+        assert_eq!(outcome.outcomes.len(), 2);
+        assert!(outcome.failures().is_empty());
+        let a = outcome.outcomes[0].metrics().expect("point 0");
+        let b = outcome.outcomes[1].metrics().expect("point 1");
         assert_eq!(a.committed, 3_000);
         assert_ne!(a.cycles, b.cycles, "different seeds, different traces");
         assert_eq!(outcome.report.completed, 2);
@@ -369,7 +460,7 @@ mod tests {
         let p = program_point(4_000, 9);
         let direct = execute_point(&p);
         let outcome = run_campaign(&CampaignSpec::new("unit", vec![p]), None).expect("run");
-        assert_eq!(outcome.results[0].as_ref(), Some(&direct));
+        assert_eq!(outcome.outcomes[0].metrics(), Some(&direct));
     }
 
     #[test]
@@ -378,16 +469,65 @@ mod tests {
         // time" assertion.
         let spec = CampaignSpec::new("unit", vec![program_point(0, 1), program_point(3_000, 1)]);
         let outcome = run_campaign(&spec, None).expect("run");
-        assert_eq!(outcome.results[0], None);
-        assert!(outcome.results[1].is_some());
-        assert_eq!(outcome.failures.len(), 1);
-        assert_eq!(outcome.failures[0].0, 0);
+        assert!(outcome.outcomes[0].metrics().is_none());
+        assert!(outcome.outcomes[1].metrics().is_some());
+        let failures = outcome.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, 0);
+        assert!(failures[0].1.contains("warmup"), "got: {}", failures[0].1);
         assert!(
-            outcome.failures[0].1.contains("warmup"),
-            "got: {}",
-            outcome.failures[0].1
+            failures[0].2.is_none(),
+            "a contract panic has no structured state to dump"
         );
         assert_eq!(outcome.report.failed, 1);
         assert_eq!(outcome.report.completed, 1);
+    }
+
+    #[test]
+    fn checked_campaign_matches_an_unchecked_one() {
+        let points = vec![program_point(3_000, 1)];
+        let plain = run_campaign(&CampaignSpec::new("unit", points.clone()), None).expect("run");
+        let checked =
+            run_campaign(&CampaignSpec::new("unit", points).with_checked(), None).expect("run");
+        assert!(
+            checked.failures().is_empty(),
+            "no invariant fires unfaulted"
+        );
+        assert_eq!(
+            plain.outcomes[0].metrics(),
+            checked.outcomes[0].metrics(),
+            "the auditor must not perturb results"
+        );
+    }
+
+    #[test]
+    fn invariant_violation_fails_the_point_and_writes_a_dump() {
+        let dir = std::env::temp_dir().join(format!("s64v-engine-dump-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let spec = CampaignSpec::new(
+            "unit",
+            vec![program_point(3_000, 1), program_point(3_000, 2)],
+        )
+        .with_checked()
+        .with_fault(FaultPlan::at(FaultClass::RewindCommit, 0, 1))
+        .with_cache_dir(&dir);
+        let outcome = run_campaign(&spec, None).expect("run");
+
+        // Every point gets the fault, every point fails — and the
+        // campaign still visits all of them.
+        assert_eq!(outcome.report.failed, 2);
+        for o in &outcome.outcomes {
+            let PointOutcome::Failed { error, dump_path } = o else {
+                panic!("faulted point must fail, got {o:?}");
+            };
+            assert!(error.contains("commit"), "got: {error}");
+            let path = dump_path.as_ref().expect("dump written next to cache");
+            let json = std::fs::read_to_string(path).expect("dump readable");
+            assert!(json.contains("\"component\": \"commit\""), "got: {json}");
+            assert!(json.contains("\"pipeline\""), "dump carries the snapshot");
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -10,7 +10,7 @@
 //! result store. Output formats deliberately match the historical
 //! per-binary harnesses line for line.
 
-use crate::engine::run_campaign;
+use crate::engine::{run_campaign, PointOutcome};
 use crate::journal::FailedPoint;
 use crate::progress::{CampaignReport, ProgressEvent};
 use crate::spec::{env_usize, CampaignSpec, HarnessOpts, PointMetrics, SimPoint, WorkUnit};
@@ -57,12 +57,12 @@ pub struct PointStore {
 }
 
 impl PointStore {
-    /// Builds a store from a campaign's points and results (failed
+    /// Builds a store from a campaign's points and outcomes (failed
     /// points are simply absent).
-    pub fn from_run(points: &[SimPoint], results: &[Option<PointMetrics>]) -> Self {
+    pub fn from_run(points: &[SimPoint], outcomes: &[PointOutcome]) -> Self {
         let mut map = HashMap::with_capacity(points.len());
-        for (p, r) in points.iter().zip(results) {
-            if let Some(m) = r {
+        for (p, o) in points.iter().zip(outcomes) {
+            if let Some(m) = o.metrics() {
                 map.insert(p.fingerprint(), m.clone());
             }
         }
@@ -1257,12 +1257,19 @@ pub fn figure_names() -> Vec<&'static str> {
 /// | `S64V_THREADS` | worker threads | available parallelism |
 /// | `S64V_CACHE_DIR` | result-cache directory | `results-cache` |
 /// | `S64V_NO_CACHE` | disable the cache when set to `1` | unset |
+/// | `S64V_CHECKED` | run the invariant auditor when set to `1` | unset |
+///
+/// Rendered tables additionally honour `S64V_RESULTS_DIR` (see
+/// [`crate::emit`]) so reduced-size smoke runs can write CSVs to a
+/// scratch directory instead of `results/`.
 #[derive(Debug, Clone, Default)]
 pub struct EngineOpts {
     /// Worker threads (`None` = available parallelism).
     pub threads: Option<usize>,
     /// Cache directory (`None` = no cache, no journal).
     pub cache_dir: Option<PathBuf>,
+    /// Run every point in checked mode (invariant auditor on).
+    pub checked: bool,
 }
 
 impl EngineOpts {
@@ -1279,7 +1286,12 @@ impl EngineOpts {
                 std::env::var("S64V_CACHE_DIR").unwrap_or_else(|_| "results-cache".to_string()),
             ))
         };
-        EngineOpts { threads, cache_dir }
+        let checked = std::env::var("S64V_CHECKED").is_ok_and(|v| v == "1");
+        EngineOpts {
+            threads,
+            cache_dir,
+            checked,
+        }
     }
 }
 
@@ -1336,9 +1348,11 @@ pub fn run_figures(
         points,
         threads: engine.threads,
         cache_dir: engine.cache_dir.clone(),
+        checked: engine.checked,
+        fault: None,
     };
     let outcome = run_campaign(&spec, progress).map_err(|e| format!("campaign I/O: {e}"))?;
-    let store = PointStore::from_run(&spec.points, &outcome.results);
+    let store = PointStore::from_run(&spec.points, &outcome.outcomes);
 
     let mut render_failures = Vec::new();
     for (i, fig) in figures.iter().enumerate() {
@@ -1349,13 +1363,20 @@ pub fn run_figures(
             render_failures.push((fig.name, reason));
         }
     }
+    let point_failures = outcome
+        .failures()
+        .into_iter()
+        .map(|(i, error, dump)| {
+            let mut msg = error.to_string();
+            if let Some(path) = dump {
+                msg.push_str(&format!(" (diagnostic dump: {})", path.display()));
+            }
+            (spec.points[i].label(), msg)
+        })
+        .collect();
     Ok(RunSummary {
         report: outcome.report,
-        point_failures: outcome
-            .failures
-            .iter()
-            .map(|(i, e)| (spec.points[*i].label(), e.clone()))
-            .collect(),
+        point_failures,
         prior_failures: outcome.prior_failures,
         render_failures,
     })

@@ -128,7 +128,11 @@ impl Journal {
     }
 
     fn append(&self, line: &str) {
-        let mut file = self.file.lock().expect("journal lock poisoned");
+        // A poisoned lock means some worker panicked mid-append; the file
+        // handle itself is still fine (at worst one line is torn, and the
+        // loader skips malformed lines), so keep journaling rather than
+        // letting one dead worker silence the rest of the campaign.
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
         // Journal writes are best-effort: losing a line degrades the
         // resume report, never the results (the cache holds those).
         let _ = file.write_all(line.as_bytes());
@@ -191,6 +195,36 @@ mod tests {
         let state = Journal::load(&path);
         assert!(state.completed.is_empty());
         assert!(state.failed.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn appends_survive_a_poisoned_lock() {
+        let dir = std::env::temp_dir().join(format!("s64v-journal-psn-{}", std::process::id()));
+        let path = journal_path(&dir);
+        std::fs::remove_file(&path).ok();
+
+        let j = Journal::open(&path).expect("open");
+        j.record_ok(fp("before"), "point before");
+
+        // Poison the mutex the way a real campaign would: a worker
+        // panicking while holding it.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = j.file.lock().unwrap();
+            panic!("worker died mid-append");
+        }));
+        std::panic::set_hook(hook);
+        assert!(j.file.is_poisoned());
+
+        j.record_ok(fp("after"), "point after");
+        let state = Journal::load(&path);
+        assert!(state.completed.contains(&fp("before")));
+        assert!(
+            state.completed.contains(&fp("after")),
+            "a poisoned lock must not stop the journal"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

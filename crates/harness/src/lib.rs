@@ -16,8 +16,15 @@
 //!   its result (plus the model version); finished points persist under
 //!   that key and later campaigns reuse them.
 //! * **Resumable and failure-isolated** — an append-only [`journal`]
-//!   records every outcome as it happens, and a panicking point is
-//!   caught, reported, and skipped instead of aborting the campaign.
+//!   records every outcome as it happens; a point that fails (a
+//!   structured [simulation error](s64v_core::SimError) or a panic) is
+//!   reported and skipped instead of aborting the campaign, with a JSON
+//!   diagnostic dump written next to its cache entry.
+//! * **Checked mode** — [`CampaignSpec::checked`] (or `S64V_CHECKED=1`)
+//!   runs every point under the [invariant
+//!   auditor](s64v_core::integrity), which never perturbs results but
+//!   turns silent model-state corruption into first-faulting-cycle
+//!   errors.
 //!
 //! The `campaign` binary drives the whole evaluation through this
 //! engine: `cargo run --release -p s64v-harness --bin campaign --
@@ -30,16 +37,20 @@ pub mod journal;
 pub mod progress;
 pub mod spec;
 
-pub use engine::{execute_point, run_campaign, CampaignOutcome};
+pub use engine::{execute_point, run_campaign, try_execute_point, CampaignOutcome, PointOutcome};
 pub use figures::{figure, figure_names, run_figures, EngineOpts, FigureDef, RunSummary};
 pub use progress::{CampaignReport, ProgressEvent};
 pub use spec::{CampaignSpec, HarnessOpts, PointMetrics, SimPoint, WorkUnit};
 
-/// Prints a table and also writes it as CSV under `results/` (best
-/// effort — the directory is created if missing; failures only warn).
+/// Prints a table and also writes it as CSV under `results/`, or under
+/// `S64V_RESULTS_DIR` when set — smoke campaigns (CI) point it at a
+/// scratch directory so reduced-size runs never clobber the committed
+/// full-size tables. Best effort: the directory is created if missing
+/// and failures only warn.
 pub fn emit(name: &str, table: &s64v_stats::Table) {
     print!("{table}");
-    let dir = std::path::Path::new("results");
+    let dir = std::env::var("S64V_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let dir = std::path::Path::new(&dir);
     if std::fs::create_dir_all(dir).is_ok() {
         let path = dir.join(format!("{name}.csv"));
         if let Err(e) = std::fs::write(&path, table.to_csv()) {

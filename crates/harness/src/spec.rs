@@ -7,7 +7,7 @@
 //! ([`crate::figures`]), never inside the engine.
 
 use s64v_core::fingerprint::{Fingerprint, StableHasher};
-use s64v_core::SystemConfig;
+use s64v_core::{FaultPlan, SystemConfig};
 use s64v_workloads::SuiteKind;
 use std::path::PathBuf;
 
@@ -223,6 +223,17 @@ pub struct CampaignSpec {
     pub threads: Option<usize>,
     /// Result-cache directory (`None` = no cache, no journal).
     pub cache_dir: Option<PathBuf>,
+    /// Run every point with the invariant auditor on (see
+    /// [`s64v_core::integrity`]). Checked mode never perturbs results —
+    /// a clean checked run produces byte-identical metrics — so cached
+    /// entries are shared freely between checked and unchecked runs, and
+    /// the flag stays out of the point fingerprint.
+    pub checked: bool,
+    /// Inject this fault into every point (integrity-validation
+    /// campaigns only). Pair it with a scratch cache directory: cache
+    /// hits skip simulation, so a previously cached success would mask
+    /// the fault.
+    pub fault: Option<FaultPlan>,
 }
 
 impl CampaignSpec {
@@ -233,6 +244,8 @@ impl CampaignSpec {
             points,
             threads: None,
             cache_dir: None,
+            checked: false,
+            fault: None,
         }
     }
 
@@ -245,6 +258,20 @@ impl CampaignSpec {
     /// Enables the on-disk result cache (and journal) in `dir`.
     pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Turns the invariant auditor on for every point.
+    pub fn with_checked(mut self) -> Self {
+        self.checked = true;
+        self
+    }
+
+    /// Injects `fault` into every point (implies nothing about `checked`;
+    /// combine with [`CampaignSpec::with_checked`] to have the auditor
+    /// catch it).
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = Some(fault);
         self
     }
 }

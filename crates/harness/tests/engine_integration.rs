@@ -34,12 +34,9 @@ fn small_points() -> Vec<SimPoint> {
 }
 
 fn spec(points: Vec<SimPoint>, threads: usize, cache_dir: Option<PathBuf>) -> CampaignSpec {
-    CampaignSpec {
-        name: "integration".into(),
-        points,
-        threads: Some(threads),
-        cache_dir,
-    }
+    let mut s = CampaignSpec::new("integration", points).with_threads(threads);
+    s.cache_dir = cache_dir;
+    s
 }
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -50,13 +47,13 @@ fn temp_dir(tag: &str) -> PathBuf {
 fn one_thread_and_many_threads_agree_exactly() {
     let single = run_campaign(&spec(small_points(), 1, None), None).expect("run");
     let many = run_campaign(&spec(small_points(), 4, None), None).expect("run");
-    assert_eq!(single.results.len(), many.results.len());
-    for (i, (a, b)) in single.results.iter().zip(&many.results).enumerate() {
+    assert_eq!(single.outcomes.len(), many.outcomes.len());
+    for (i, (a, b)) in single.outcomes.iter().zip(&many.outcomes).enumerate() {
         // Bit-identical metrics, not approximately equal: the schedule
         // of workers must never leak into simulation results.
         assert_eq!(a, b, "point {i} differs between 1 and 4 threads");
     }
-    assert!(single.failures.is_empty());
+    assert!(single.failures().is_empty());
 }
 
 #[test]
@@ -78,12 +75,12 @@ fn resumed_campaign_matches_a_fresh_run() {
         resumed.report.cache_hits, 3,
         "the half already simulated must come from the cache"
     );
-    assert_eq!(fresh.results, resumed.results);
+    assert_eq!(fresh.outcomes, resumed.outcomes);
 
     // A third run is pure cache.
     let cached = run_campaign(&spec(small_points(), 2, Some(dir.clone())), None).expect("run");
     assert_eq!(cached.report.cache_hits, small_points().len());
-    assert_eq!(fresh.results, cached.results);
+    assert_eq!(fresh.outcomes, cached.outcomes);
 
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -122,22 +119,26 @@ fn panicking_point_fails_alone() {
     points[1].records = 0;
 
     let outcome = run_campaign(&spec(points.clone(), 2, Some(dir.clone())), None).expect("run");
-    assert_eq!(outcome.failures.len(), 1);
-    let (index, error) = &outcome.failures[0];
-    assert_eq!(*index, 1);
+    let failures = outcome.failures();
+    assert_eq!(failures.len(), 1);
+    let (index, error, _dump) = failures[0];
+    assert_eq!(index, 1);
     assert!(
         error.contains("warmup must leave records to time"),
         "panic message must be preserved, got: {error}"
     );
-    assert!(outcome.results[1].is_none(), "failed slot stays empty");
-    let healthy = outcome.results.iter().filter(|r| r.is_some()).count();
+    assert!(
+        outcome.outcomes[1].metrics().is_none(),
+        "failed slot stays empty"
+    );
+    let healthy = outcome.results().iter().filter(|r| r.is_some()).count();
     assert_eq!(healthy, points.len() - 1, "other points are unaffected");
 
     // The journal remembers the failure; fixing the point and re-running
     // clears it while everything else cache-hits.
     points[1].records = 500;
     let fixed = run_campaign(&spec(points.clone(), 2, Some(dir.clone())), None).expect("run");
-    assert!(fixed.failures.is_empty());
+    assert!(fixed.failures().is_empty());
     assert_eq!(fixed.report.cache_hits, points.len() - 1);
 
     std::fs::remove_dir_all(&dir).ok();

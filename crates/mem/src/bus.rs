@@ -48,6 +48,8 @@ pub struct SystemBus {
     outstanding: BinaryHeap<Reverse<u64>>,
     max_now: u64,
     transactions: Counter,
+    cmd_transactions: Counter,
+    line_transactions: Counter,
     busy_cycles: Counter,
     queue_delay_cycles: Counter,
 }
@@ -71,6 +73,8 @@ impl SystemBus {
             outstanding: BinaryHeap::new(),
             max_now: 0,
             transactions: Counter::new(),
+            cmd_transactions: Counter::new(),
+            line_transactions: Counter::new(),
             busy_cycles: Counter::new(),
             queue_delay_cycles: Counter::new(),
         }
@@ -136,6 +140,10 @@ impl SystemBus {
         self.outstanding
             .push(Reverse(granted_at + completes_at_offset.max(occ)));
         self.transactions.incr();
+        match op {
+            BusOp::Command => self.cmd_transactions.incr(),
+            BusOp::LineTransfer => self.line_transactions.incr(),
+        }
         self.busy_cycles.add(occ);
         self.queue_delay_cycles.add(granted_at - now);
         BusGrant {
@@ -147,6 +155,38 @@ impl SystemBus {
     /// Total transactions granted.
     pub fn transactions(&self) -> u64 {
         self.transactions.get()
+    }
+
+    /// Command-phase transactions granted.
+    pub fn cmd_transactions(&self) -> u64 {
+        self.cmd_transactions.get()
+    }
+
+    /// Line-transfer transactions granted.
+    pub fn line_transactions(&self) -> u64 {
+        self.line_transactions.get()
+    }
+
+    /// Occupancy one command-phase transaction books on the bus. Every
+    /// grant books exactly its op's occupancy, so
+    /// `busy_cycles == cmd_occupancy * cmd_transactions +
+    /// line_occupancy * line_transactions` is an exact conservation law of
+    /// the model (audited in checked mode).
+    pub fn cmd_occupancy(&self) -> u64 {
+        self.cmd_cycles as u64
+    }
+
+    /// Occupancy one line-transfer transaction books on the bus.
+    pub fn line_occupancy(&self) -> u64 {
+        self.line_cycles as u64
+    }
+
+    /// Fault-injection hook: counts a transaction that never actually
+    /// occupied the bus — a "lost grant". Breaks the busy-cycle credit
+    /// conservation a checked run verifies.
+    #[doc(hidden)]
+    pub fn fault_lose_grant(&mut self) {
+        self.transactions.incr();
     }
 
     /// Total cycles the bus spent occupied.

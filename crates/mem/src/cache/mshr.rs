@@ -82,6 +82,23 @@ impl MshrFile {
     pub fn occupancy(&self) -> usize {
         self.pending.len()
     }
+
+    /// Configured number of entries.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Fault-injection hook: inserts a phantom in-flight entry *bypassing*
+    /// the capacity check, pushing the file over its credit limit. The
+    /// entry never retires within any realistic run (completion at
+    /// `u64::MAX`), so a checked run must flag occupancy > capacity.
+    #[doc(hidden)]
+    pub fn fault_overcommit(&mut self, extra: usize) {
+        let base = u64::MAX - self.pending.len() as u64 - extra as u64;
+        for i in 0..extra as u64 {
+            self.pending.insert(base + i, u64::MAX);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -54,6 +54,69 @@ pub struct DataAccess {
     pub tlb_miss: bool,
 }
 
+/// Occupancy of one MSHR file against its capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrLevel {
+    /// In-flight entries.
+    pub occupancy: usize,
+    /// Configured entries.
+    pub capacity: u32,
+}
+
+/// Per-CPU MSHR occupancies at the snapshot cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreMemSnapshot {
+    /// L1 instruction-cache MSHR file.
+    pub l1i_mshr: MshrLevel,
+    /// L1 operand-cache MSHR file.
+    pub l1d_mshr: MshrLevel,
+    /// L2 MSHR file.
+    pub l2_mshr: MshrLevel,
+}
+
+/// A snapshot of the memory system's outstanding state: per-CPU MSHR
+/// occupancy, bus credit counters, and directory footprint. Attached to
+/// structured simulation errors by the `s64v-core` integrity layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemSnapshot {
+    /// One entry per CPU.
+    pub cores: Vec<CoreMemSnapshot>,
+    /// Transactions granted on the backplane bus.
+    pub bus_transactions: u64,
+    /// Cycles the backplane bus was occupied.
+    pub bus_busy_cycles: u64,
+    /// Lines the MESI directory currently tracks.
+    pub tracked_lines: usize,
+}
+
+impl std::fmt::Display for MemSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MSHRs")?;
+        for (i, c) in self.cores.iter().enumerate() {
+            write!(
+                f,
+                " [cpu{} i{}/{} d{}/{} l2:{}/{}]",
+                i,
+                c.l1i_mshr.occupancy,
+                c.l1i_mshr.capacity,
+                c.l1d_mshr.occupancy,
+                c.l1d_mshr.capacity,
+                c.l2_mshr.occupancy,
+                c.l2_mshr.capacity
+            )?;
+        }
+        write!(
+            f,
+            ", bus {} transactions / {} busy cycles, {} tracked lines",
+            self.bus_transactions, self.bus_busy_cycles, self.tracked_lines
+        )
+    }
+}
+
+/// Completion time assigned to a fill dropped by fault injection: far
+/// enough out that the request never completes within any realistic run.
+const DROPPED_FILL_READY: u64 = u64::MAX >> 2;
+
 #[derive(Debug)]
 struct CoreMem {
     l1i: Cache,
@@ -116,6 +179,8 @@ pub struct MemorySystem {
     dram: Dram,
     dir: Directory,
     smp: bool,
+    /// Per-CPU "drop the next fill" fault flags (fault injection only).
+    drop_fill: Vec<bool>,
 }
 
 impl MemorySystem {
@@ -144,6 +209,7 @@ impl MemorySystem {
             dram: Dram::new(cfg.dram_latency, 16),
             dir: Directory::new(cores),
             smp: cores > 1,
+            drop_fill: vec![false; cores],
             cfg,
         }
     }
@@ -260,7 +326,13 @@ impl MemorySystem {
 
     /// Data load from `addr` at cycle `now`.
     pub fn load(&mut self, core: usize, addr: u64, now: u64) -> DataAccess {
-        let access = self.data_access(core, addr, now, false);
+        let mut access = self.data_access(core, addr, now, false);
+        if self.drop_fill[core] && !access.l1_hit {
+            // Fault injection: the fill for this miss is lost; the load's
+            // data never arrives.
+            self.drop_fill[core] = false;
+            access.ready_at = DROPPED_FILL_READY;
+        }
         self.cores[core]
             .stats
             .record_load_latency(access.ready_at.saturating_sub(now));
@@ -785,6 +857,170 @@ impl MemorySystem {
         (0..self.cores.len())
             .filter(|&i| i != core)
             .any(|i| self.dir.state(i, line_addr).is_valid())
+    }
+
+    // ----- integrity: snapshots, audits, fault hooks ---------------------
+
+    /// MSHR occupancy/capacity for `core`'s three files (L1I, L1D, L2).
+    pub fn mshr_levels(&self, core: usize) -> [MshrLevel; 3] {
+        let cm = &self.cores[core];
+        [
+            MshrLevel {
+                occupancy: cm.l1i_mshr.occupancy(),
+                capacity: cm.l1i_mshr.capacity(),
+            },
+            MshrLevel {
+                occupancy: cm.l1d_mshr.occupancy(),
+                capacity: cm.l1d_mshr.capacity(),
+            },
+            MshrLevel {
+                occupancy: cm.l2_mshr.occupancy(),
+                capacity: cm.l2_mshr.capacity(),
+            },
+        ]
+    }
+
+    /// Snapshot of outstanding memory-system state (attached to structured
+    /// simulation errors).
+    pub fn snapshot(&self) -> MemSnapshot {
+        MemSnapshot {
+            cores: (0..self.cores.len())
+                .map(|c| {
+                    let [l1i_mshr, l1d_mshr, l2_mshr] = self.mshr_levels(c);
+                    CoreMemSnapshot {
+                        l1i_mshr,
+                        l1d_mshr,
+                        l2_mshr,
+                    }
+                })
+                .collect(),
+            bus_transactions: self.bus.transactions(),
+            bus_busy_cycles: self.bus.busy_cycles(),
+            tracked_lines: self.dir.tracked_lines(),
+        }
+    }
+
+    /// Cheap per-cycle MSHR credit audit: every file within capacity.
+    pub fn audit_mshr_credit(&self) -> Result<(), String> {
+        for (c, _) in self.cores.iter().enumerate() {
+            for (name, level) in ["L1I", "L1D", "L2"].iter().zip(self.mshr_levels(c)) {
+                if level.occupancy > level.capacity as usize {
+                    return Err(format!(
+                        "cpu {c} {name} MSHR file over capacity: {} entries in a {}-entry file",
+                        level.occupancy, level.capacity
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Cheap per-cycle bus credit audit. Two exact conservation laws hold
+    /// for every bus: the per-op transaction counts sum to the total, and
+    /// every grant books exactly its op's occupancy, so the busy-cycle
+    /// total is fully determined by those counts.
+    pub fn audit_bus_credit(&self) -> Result<(), String> {
+        let buses = std::iter::once((&self.bus, "backplane".to_string())).chain(
+            self.boards
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (b, format!("board {i}"))),
+        );
+        for (bus, name) in buses {
+            let (tx, cmd, line) = (
+                bus.transactions(),
+                bus.cmd_transactions(),
+                bus.line_transactions(),
+            );
+            if tx != cmd + line {
+                return Err(format!(
+                    "{name} bus transaction count mismatch: {tx} granted != \
+                     {cmd} commands + {line} line transfers"
+                ));
+            }
+            let busy = bus.busy_cycles();
+            let booked = bus.cmd_occupancy() * cmd + bus.line_occupancy() * line;
+            if busy != booked {
+                return Err(format!(
+                    "{name} bus credit mismatch: {busy} busy cycles booked, but \
+                     {cmd} commands + {line} line transfers account for {booked}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// MESI legality sweep over every tracked line: at most one
+    /// Modified/Exclusive copy, never coexisting with other valid copies.
+    pub fn audit_coherence(&self) -> Result<(), String> {
+        for (line, states) in self.dir.lines() {
+            if !self.dir.check_invariants(line) {
+                return Err(format!(
+                    "MESI violation on line {line:#x}: states {states:?}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Inclusion/eviction consistency (end-of-run check): a line the
+    /// directory records as Invalid for a CPU must not sit in that CPU's
+    /// L2 — an eviction that skipped the directory (or vice versa) would
+    /// leave exactly this mismatch.
+    pub fn audit_inclusion(&self) -> Result<(), String> {
+        for (line, states) in self.dir.lines() {
+            for (c, s) in states.iter().enumerate() {
+                if !s.is_valid() && self.cores[c].l2.contains(line) {
+                    return Err(format!(
+                        "inclusion violation: cpu {c} L2 holds line {line:#x} \
+                         the directory records as Invalid"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fault-injection hook: the next L1D fill requested by `core` is
+    /// dropped — its data never arrives, wedging the consuming load.
+    #[doc(hidden)]
+    pub fn fault_drop_next_fill(&mut self, core: usize) {
+        self.drop_fill[core] = true;
+    }
+
+    /// Fault-injection hook: corrupts directory state by forcing `core` to
+    /// Modified on a line another CPU validly holds, creating an illegal
+    /// second owner. Returns the corrupted line, or `None` if no suitable
+    /// line is tracked yet (caller should retry after more traffic).
+    #[doc(hidden)]
+    pub fn fault_corrupt_tag(&mut self, core: usize) -> Option<u64> {
+        let line = self
+            .dir
+            .lines()
+            .filter(|(_, states)| {
+                states
+                    .iter()
+                    .enumerate()
+                    .any(|(c, s)| c != core && s.is_valid())
+            })
+            .map(|(line, _)| line)
+            .min()?;
+        self.dir.fault_force_state(core, line, Mesi::Modified);
+        Some(line)
+    }
+
+    /// Fault-injection hook: count a backplane-bus grant that never booked
+    /// its occupancy.
+    #[doc(hidden)]
+    pub fn fault_lose_bus_grant(&mut self) {
+        self.bus.fault_lose_grant();
+    }
+
+    /// Fault-injection hook: overcommit `core`'s L1D MSHR file past its
+    /// capacity.
+    #[doc(hidden)]
+    pub fn fault_overcommit_mshr(&mut self, core: usize) {
+        self.cores[core].l1d_mshr.fault_overcommit(1);
     }
 }
 

@@ -36,5 +36,7 @@ pub mod stats;
 pub mod tlb;
 
 pub use config::{BusTopology, CacheGeometry, L2Location, MemConfig};
-pub use hierarchy::{DataAccess, FetchAccess, MemorySystem};
+pub use hierarchy::{
+    CoreMemSnapshot, DataAccess, FetchAccess, MemSnapshot, MemorySystem, MshrLevel,
+};
 pub use stats::{CacheStats, MemStats};

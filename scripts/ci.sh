@@ -1,5 +1,6 @@
 #!/usr/bin/env sh
-# Tier-1 gate: formatting, lints, and the full test suite.
+# Tier-1 gate: formatting, lints, the full test suite, and the
+# simulation-integrity gate (fault matrix + a checked-mode campaign).
 # Usage: scripts/ci.sh  (from the repository root)
 set -eu
 
@@ -11,5 +12,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo test"
 cargo test --workspace -q
+
+echo "== fault-injection matrix (every fault class must be caught)"
+cargo test --release -p s64v-core --test fault_matrix -q
+
+echo "== checked-mode smoke campaign (zero invariant violations expected)"
+CHECKED_SCRATCH=target/ci-checked
+rm -rf "$CHECKED_SCRATCH"
+S64V_RECORDS=8000 S64V_WARMUP=40000 \
+S64V_SMP_CPUS=2 S64V_SMP_RECORDS=4000 S64V_SMP_WARMUP=20000 \
+S64V_SEED=42 S64V_RESULTS_DIR="$CHECKED_SCRATCH/results" \
+cargo run --release -p s64v-harness --bin campaign -- \
+    --figures fig08_issue_width,ablation_bus \
+    --checked --cache-dir "$CHECKED_SCRATCH/cache" --quiet > /dev/null
+rm -rf "$CHECKED_SCRATCH"
 
 echo "ci: all green"
