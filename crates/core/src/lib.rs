@@ -19,6 +19,8 @@
 //! * [`experiment`] — suite runners (parallel across programs) used by
 //!   every figure harness,
 //! * [`report`] — table builders shared by the harness binaries,
+//! * [`observe`] — run observation: structured-event probes, interval
+//!   metrics and instruction timelines (see `s64v-observe`),
 //! * [`integrity`] — structured [`SimError`]s and the checked-mode
 //!   invariant auditor,
 //! * [`faultinject`] — deterministic fault injection proving the auditor
@@ -31,6 +33,7 @@ pub mod faultinject;
 pub mod fingerprint;
 pub mod integrity;
 pub mod model;
+pub mod observe;
 pub mod reference;
 pub mod report;
 pub mod stability;
@@ -47,7 +50,9 @@ pub use faultinject::{FaultClass, FaultPlan};
 pub use fingerprint::{config_fingerprint, Fingerprint, StableHasher, MODEL_FINGERPRINT_VERSION};
 pub use integrity::{Auditor, Component, SimError};
 pub use model::{PerformanceModel, RunOptions};
+pub use observe::{ObserveConfig, Observer};
 pub use reference::{compare, ModelCheck, ReferenceMachine};
+pub use s64v_observe::RunObservation;
 pub use stability::{seed_study, seed_study_ratio, SeedStudy};
 pub use sweep::{DesignPoint, Sweep};
 pub use system::{RunResult, SystemConfig};

@@ -2,9 +2,11 @@
 
 use crate::faultinject::FaultPlan;
 use crate::integrity::{Auditor, SimError};
+use crate::observe::{ObserveConfig, Observer};
 use crate::system::{RunResult, SystemConfig};
 use s64v_cpu::Core;
 use s64v_mem::MemorySystem;
+use s64v_observe::RunObservation;
 use s64v_trace::{SliceStream, TraceStream, VecTrace};
 
 /// Per-run options that do not describe the simulated system (and
@@ -44,6 +46,7 @@ fn drive<S: TraceStream>(
     mem: &mut MemorySystem,
     streams: &mut [S],
     opts: RunOptions,
+    mut observer: Option<&mut Observer>,
 ) -> Result<u64, SimError> {
     let mut auditor = opts.checked.then(|| Auditor::new(cores.len()));
     let mut fault = opts.fault;
@@ -53,6 +56,7 @@ fn drive<S: TraceStream>(
         if let Some(f) = fault.as_mut() {
             f.apply(now, cores, mem);
         }
+        let mut stepped = false;
         for i in 0..cores.len() {
             if done[i] {
                 continue;
@@ -64,9 +68,15 @@ fn drive<S: TraceStream>(
             cores[i]
                 .try_step(mem, &mut streams[i], now)
                 .map_err(|e| SimError::from_core(*e, mem))?;
+            stepped = true;
         }
         if let Some(a) = auditor.as_mut() {
             a.check(now, cores, mem)?;
+        }
+        if stepped {
+            if let Some(o) = observer.as_mut() {
+                o.tick(now, cores, mem);
+            }
         }
         now += 1;
     }
@@ -178,8 +188,65 @@ impl PerformanceModel {
             .map(|i| Core::new(self.config.core.clone(), i))
             .collect();
         let mut streams: Vec<SliceStream<'_>> = traces.iter().map(|t| t.stream()).collect();
-        let cycles = drive(&mut cores, &mut mem, &mut streams, opts)?;
+        let cycles = drive(&mut cores, &mut mem, &mut streams, opts, None)?;
         Ok(collect_result(cycles, &cores, &mem))
+    }
+
+    /// Observed variant of [`PerformanceModel::try_run_traces`]: records
+    /// structured events, interval metrics and instruction timelines per
+    /// `ocfg` and returns them alongside the result. The [`RunResult`] is
+    /// byte-identical to an unobserved run — observation is read-only.
+    ///
+    /// # Panics
+    ///
+    /// Panics on contract misuse (trace count mismatch), never on a
+    /// simulation fault.
+    pub fn try_run_traces_observed(
+        &self,
+        traces: &[VecTrace],
+        opts: RunOptions,
+        ocfg: ObserveConfig,
+    ) -> Result<(RunResult, RunObservation), SimError> {
+        assert_eq!(
+            traces.len(),
+            self.config.cpus,
+            "need one trace per CPU ({} != {})",
+            traces.len(),
+            self.config.cpus
+        );
+        let mut mem = MemorySystem::new(self.config.mem.clone(), self.config.cpus);
+        let mut cores: Vec<Core> = (0..self.config.cpus)
+            .map(|i| Core::new(self.config.core.clone(), i))
+            .collect();
+        let mut observer = Observer::new(ocfg, &mut cores, &mut mem);
+        let mut streams: Vec<SliceStream<'_>> = traces.iter().map(|t| t.stream()).collect();
+        let cycles = drive(
+            &mut cores,
+            &mut mem,
+            &mut streams,
+            opts,
+            Some(&mut observer),
+        )?;
+        observer.finish(cycles, &cores, &mem);
+        let result = collect_result(cycles, &cores, &mem);
+        let observation = observer.collect(&mut cores, &mut mem);
+        Ok((result, observation))
+    }
+
+    /// Uniprocessor convenience over
+    /// [`PerformanceModel::try_run_traces_observed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has more than one CPU or the run wedges.
+    pub fn run_trace_observed(
+        &self,
+        trace: &VecTrace,
+        ocfg: ObserveConfig,
+    ) -> (RunResult, RunObservation) {
+        assert_eq!(self.config.cpus, 1, "run_trace_observed is for UP configs");
+        self.try_run_traces_observed(std::slice::from_ref(trace), RunOptions::default(), ocfg)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Runs a single trace on a uniprocessor system, using the first
@@ -269,8 +336,63 @@ impl PerformanceModel {
             .iter()
             .map(|t| SliceStream::new(&t.records()[warmup..]))
             .collect();
-        let cycles = drive(&mut cores, &mut mem, &mut streams, opts)?;
+        let cycles = drive(&mut cores, &mut mem, &mut streams, opts, None)?;
         Ok(collect_result(cycles, &cores, &mem))
+    }
+
+    /// Observed variant of [`PerformanceModel::try_run_traces_warm`]:
+    /// probes attach *after* the warm-up, so only timed execution is
+    /// narrated.
+    ///
+    /// # Panics
+    ///
+    /// Panics on contract misuse (trace count mismatch, warm-up longer
+    /// than a trace), never on a simulation fault.
+    pub fn try_run_traces_warm_observed(
+        &self,
+        traces: &[VecTrace],
+        warmup: usize,
+        opts: RunOptions,
+        ocfg: ObserveConfig,
+    ) -> Result<(RunResult, RunObservation), SimError> {
+        assert_eq!(traces.len(), self.config.cpus, "need one trace per CPU");
+        assert!(
+            traces.iter().all(|t| t.len() > warmup),
+            "warmup must leave records to time"
+        );
+        let mut mem = MemorySystem::new(self.config.mem.clone(), self.config.cpus);
+        let mut cores: Vec<Core> = (0..self.config.cpus)
+            .map(|i| Core::new(self.config.core.clone(), i))
+            .collect();
+
+        let chunk = 1024;
+        let mut pos = 0;
+        while pos < warmup {
+            let end = (pos + chunk).min(warmup);
+            for (i, core) in cores.iter_mut().enumerate() {
+                for rec in &traces[i].records()[pos..end] {
+                    core.warm(&mut mem, rec);
+                }
+            }
+            pos = end;
+        }
+
+        let mut observer = Observer::new(ocfg, &mut cores, &mut mem);
+        let mut streams: Vec<SliceStream<'_>> = traces
+            .iter()
+            .map(|t| SliceStream::new(&t.records()[warmup..]))
+            .collect();
+        let cycles = drive(
+            &mut cores,
+            &mut mem,
+            &mut streams,
+            opts,
+            Some(&mut observer),
+        )?;
+        observer.finish(cycles, &cores, &mem);
+        let result = collect_result(cycles, &cores, &mem);
+        let observation = observer.collect(&mut cores, &mut mem);
+        Ok((result, observation))
     }
 
     /// Sampled simulation (§2.2: the paper samples its TPC-C captures):

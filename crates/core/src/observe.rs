@@ -1,0 +1,273 @@
+//! Wiring between the model and the `s64v-observe` subsystem.
+//!
+//! [`Observer`] owns the observation plumbing for one run: it attaches a
+//! bounded [`EventLog`] probe to every core and to the memory system,
+//! enables per-core instruction timelines, and samples interval metrics
+//! at a fixed cycle period. After the run, [`Observer::collect`] takes
+//! everything back and assembles a [`RunObservation`].
+//!
+//! Observation is strictly read-only — the probes and the sampler look at
+//! the model but never feed anything back — so an observed run produces
+//! byte-identical [`crate::RunResult`]s to a plain one (there is a test
+//! for exactly this, and the engine's cache fingerprints ignore
+//! observation settings entirely).
+
+use s64v_cpu::{Core, TimelineMode};
+use s64v_mem::MemorySystem;
+use s64v_observe::{CpuInterval, EventLog, IntervalSample, ObsEvent, RunObservation};
+
+/// What to record during a run.
+#[derive(Debug, Clone, Copy)]
+pub struct ObserveConfig {
+    /// Attach structured-event probes ([`EventLog`]) to cores and memory.
+    pub events: bool,
+    /// Per-sink event cap (excess events are counted, not stored).
+    pub event_cap: usize,
+    /// Interval-sample period in cycles; `0` disables sampling.
+    pub interval: u64,
+    /// Per-core instruction-timeline recording mode, if any.
+    pub timeline: Option<TimelineMode>,
+}
+
+impl Default for ObserveConfig {
+    fn default() -> Self {
+        ObserveConfig {
+            events: true,
+            event_cap: 1 << 20,
+            interval: 10_000,
+            timeline: Some(TimelineMode::FirstN(4096)),
+        }
+    }
+}
+
+impl ObserveConfig {
+    /// Interval metrics only: no event stream, no timelines.
+    pub fn metrics_only(interval: u64) -> Self {
+        ObserveConfig {
+            events: false,
+            event_cap: 0,
+            interval,
+            timeline: None,
+        }
+    }
+}
+
+/// Per-CPU counter values at the previous window boundary.
+#[derive(Debug, Clone, Copy, Default)]
+struct PrevCpu {
+    committed: u64,
+    stalls: [u64; 7],
+}
+
+/// Attached observation state for one run (see the module docs).
+#[derive(Debug)]
+pub struct Observer {
+    cfg: ObserveConfig,
+    intervals: Vec<IntervalSample>,
+    window_start: u64,
+    prev: Vec<PrevCpu>,
+    prev_bus_busy: u64,
+    prev_bus_txns: u64,
+}
+
+/// Reads one core's stall-cause counters in [`s64v_observe::STALL_LABELS`]
+/// order.
+fn stall_mix(core: &Core) -> [u64; 7] {
+    let s = &core.stats().stall_cycles;
+    [
+        s.busy.get(),
+        s.l2_miss.get(),
+        s.l1_miss.get(),
+        s.execute.get(),
+        s.dispatch.get(),
+        s.frontend_branch.get(),
+        s.frontend_fetch.get(),
+    ]
+}
+
+impl Observer {
+    /// Attaches probes and timeline recorders per `cfg` and returns the
+    /// sampler. Call after any warm-up so warm accesses are not narrated.
+    pub fn new(cfg: ObserveConfig, cores: &mut [Core], mem: &mut MemorySystem) -> Self {
+        for core in cores.iter_mut() {
+            if cfg.events {
+                core.attach_probe(Box::new(EventLog::with_capacity(cfg.event_cap)));
+            }
+            if let Some(mode) = cfg.timeline {
+                core.enable_timeline_mode(mode);
+            }
+        }
+        if cfg.events {
+            mem.attach_probe(Box::new(EventLog::with_capacity(cfg.event_cap)));
+        }
+        Observer {
+            cfg,
+            intervals: Vec::new(),
+            window_start: 0,
+            prev: vec![PrevCpu::default(); cores.len()],
+            prev_bus_busy: 0,
+            prev_bus_txns: 0,
+        }
+    }
+
+    /// Called once per simulated cycle, after every core stepped. Emits an
+    /// interval sample whenever a window boundary passes.
+    pub fn tick(&mut self, now: u64, cores: &[Core], mem: &MemorySystem) {
+        if self.cfg.interval > 0 && (now + 1).is_multiple_of(self.cfg.interval) {
+            self.sample(now + 1, cores, mem);
+        }
+    }
+
+    /// Flushes a trailing partial window ending at `end` (the run's final
+    /// cycle count).
+    pub fn finish(&mut self, end: u64, cores: &[Core], mem: &MemorySystem) {
+        if self.cfg.interval > 0 && end > self.window_start {
+            self.sample(end, cores, mem);
+        }
+    }
+
+    fn sample(&mut self, end: u64, cores: &[Core], mem: &MemorySystem) {
+        let len = end - self.window_start;
+        let mut cpus = Vec::with_capacity(cores.len());
+        let mut committed_total = 0u64;
+        for (i, core) in cores.iter().enumerate() {
+            let committed_now = core.stats().committed.get();
+            let stalls_now = stall_mix(core);
+            let prev = &mut self.prev[i];
+            let committed = committed_now - prev.committed;
+            let mut stalls = [0u64; 7];
+            for (s, (n, p)) in stalls
+                .iter_mut()
+                .zip(stalls_now.iter().zip(prev.stalls.iter()))
+            {
+                *s = n - p;
+            }
+            prev.committed = committed_now;
+            prev.stalls = stalls_now;
+            committed_total += committed;
+
+            let snap = core.snapshot(end);
+            let mshr = mem.mshr_levels(i);
+            cpus.push(CpuInterval {
+                committed,
+                ipc: committed as f64 / len as f64,
+                window_occ: snap.rob_len,
+                rs_occ: snap.rs.iter().map(|r| r.occupancy).sum(),
+                lq_occ: snap.loads_in_flight,
+                sq_occ: snap.stores_in_flight,
+                mshr_occ: [mshr[0].occupancy, mshr[1].occupancy, mshr[2].occupancy],
+                stalls,
+            });
+        }
+        let bus_busy_now = mem.bus().busy_cycles();
+        let bus_txns_now = mem.bus().transactions();
+        let bus_busy = bus_busy_now - self.prev_bus_busy;
+        let bus_txns = bus_txns_now - self.prev_bus_txns;
+        self.prev_bus_busy = bus_busy_now;
+        self.prev_bus_txns = bus_txns_now;
+
+        self.intervals.push(IntervalSample {
+            start: self.window_start,
+            end,
+            committed: committed_total,
+            ipc: committed_total as f64 / len as f64,
+            bus_busy,
+            bus_txns,
+            bus_util: bus_busy as f64 / len as f64,
+            cpus,
+        });
+        self.window_start = end;
+    }
+
+    /// Takes the probes and timelines back from the model and assembles
+    /// the run's [`RunObservation`]. Event streams are merged stable-sorted
+    /// by cycle (cores in CPU order, memory last), so the result is
+    /// deterministic.
+    pub fn collect(self, cores: &mut [Core], mem: &mut MemorySystem) -> RunObservation {
+        let mut events: Vec<ObsEvent> = Vec::new();
+        for core in cores.iter_mut() {
+            if let Some(p) = core.take_probe() {
+                events.extend(p.into_events());
+            }
+        }
+        if let Some(p) = mem.take_probe() {
+            events.extend(p.into_events());
+        }
+        events.sort_by_key(ObsEvent::cycle); // stable: ties keep source order
+
+        let timelines = cores
+            .iter()
+            .map(|c| {
+                c.timeline()
+                    .map(|t| t.entries_in_order())
+                    .unwrap_or_default()
+            })
+            .collect();
+
+        RunObservation {
+            events,
+            intervals: self.intervals,
+            timelines,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PerformanceModel, SystemConfig};
+    use s64v_workloads::{Suite, SuiteKind};
+
+    #[test]
+    fn observed_run_matches_plain_run_exactly() {
+        let t = Suite::preset(SuiteKind::SpecInt95).programs()[0].generate(12_000, 5);
+        let model = PerformanceModel::new(SystemConfig::sparc64_v());
+        let plain = model.run_trace(&t);
+        let (observed, obs) = model.run_trace_observed(&t, ObserveConfig::default());
+        assert_eq!(plain.cycles, observed.cycles, "observation is read-only");
+        assert_eq!(plain.committed, observed.committed);
+        assert_eq!(
+            format!("{:?}", plain.core_stats),
+            format!("{:?}", observed.core_stats),
+            "every counter must match the unobserved run"
+        );
+        assert!(!obs.events.is_empty(), "events were recorded");
+        assert!(!obs.intervals.is_empty(), "intervals were sampled");
+        assert!(!obs.timelines[0].is_empty(), "timelines were recorded");
+        // The merged stream is cycle-sorted and covers both the core and
+        // the memory system.
+        assert!(obs.events.windows(2).all(|w| w[0].cycle() <= w[1].cycle()));
+        let kinds: Vec<&str> = obs.events.iter().map(|e| e.kind()).collect();
+        for k in ["fetch", "decode", "commit", "cache"] {
+            assert!(kinds.contains(&k), "missing {k} events");
+        }
+    }
+
+    #[test]
+    fn interval_windows_tile_the_run() {
+        let t = Suite::preset(SuiteKind::SpecInt95).programs()[1].generate(20_000, 3);
+        let model = PerformanceModel::new(SystemConfig::sparc64_v());
+        let mut ocfg = ObserveConfig::metrics_only(2_000);
+        ocfg.timeline = None;
+        let (r, obs) = model.run_trace_observed(&t, ocfg);
+        assert!(obs.events.is_empty(), "metrics-only records no events");
+        let ivs = &obs.intervals;
+        assert!(ivs.len() >= 2, "run long enough for several windows");
+        assert_eq!(ivs[0].start, 0);
+        assert_eq!(ivs.last().unwrap().end, r.cycles);
+        for w in ivs.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "windows are contiguous");
+        }
+        assert_eq!(
+            ivs.iter().map(|s| s.committed).sum::<u64>(),
+            r.committed,
+            "window commits sum to the run total"
+        );
+        // The per-window stall mix partitions the window (the same
+        // invariant the end-of-run CPI stack satisfies, windowed).
+        for s in ivs {
+            let blamed: u64 = s.cpus[0].stalls.iter().sum();
+            assert_eq!(blamed, s.end - s.start, "window {}..{}", s.start, s.end);
+        }
+    }
+}

@@ -2,35 +2,81 @@
 //!
 //! ```text
 //! campaign [--figures all|name,name,...] [--threads N]
-//!          [--cache-dir DIR] [--no-cache] [--checked] [--quiet] [--list]
+//!          [--cache-dir DIR] [--no-cache] [--checked]
+//!          [--trace PATTERN]... [--metrics]
+//!          [--check-artifact PATH]... [--quiet] [--list]
 //! ```
 //!
 //! Run sizes come from the usual `S64V_*` environment variables;
-//! `--threads`/`--cache-dir`/`--no-cache`/`--checked` override
-//! `S64V_THREADS`, `S64V_CACHE_DIR`, `S64V_NO_CACHE` and `S64V_CHECKED`.
+//! `--threads`/`--cache-dir`/`--no-cache`/`--checked`/`--trace`/
+//! `--metrics` override `S64V_THREADS`, `S64V_CACHE_DIR`,
+//! `S64V_NO_CACHE`, `S64V_CHECKED`, `S64V_TRACE` and `S64V_METRICS`.
 //! `--checked` runs every point under the invariant auditor (identical
 //! results, simulation-integrity errors instead of silent corruption);
 //! failed points leave a JSON diagnostic dump next to their cache entry.
+//!
+//! `--trace PATTERN` (repeatable) simulates every point whose label
+//! contains the pattern with full event tracing and writes
+//! `<fingerprint>.trace.json` (open at <https://ui.perfetto.dev>) and
+//! `<fingerprint>.pipeline.txt` next to the point's cache entry;
+//! `--metrics` writes `<fingerprint>.metrics.jsonl` interval time series
+//! for every point. `--check-artifact PATH` validates previously written
+//! artifacts (by extension) and exits without running anything.
+//!
 //! Exits nonzero if any point failed to simulate or any figure failed to
 //! render (including a model verification mismatch).
 
 use s64v_harness::figures::{figure_names, run_figures, EngineOpts};
 use s64v_harness::progress::ProgressEvent;
 use s64v_harness::spec::HarnessOpts;
+use s64v_observe::json::Value;
 use std::sync::mpsc;
 
 fn usage() -> ! {
     eprintln!(
         "usage: campaign [--figures all|name,name,...] [--threads N]\n\
-         \x20               [--cache-dir DIR] [--no-cache] [--checked] [--quiet] [--list]"
+         \x20               [--cache-dir DIR] [--no-cache] [--checked]\n\
+         \x20               [--trace PATTERN]... [--metrics]\n\
+         \x20               [--check-artifact PATH]... [--quiet] [--list]"
     );
     std::process::exit(2);
+}
+
+/// Validates one observation artifact by extension; returns a reason on
+/// failure.
+fn check_artifact(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    if path.ends_with(".trace.json") {
+        let doc = Value::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .ok_or("missing traceEvents array")?;
+        if events.is_empty() {
+            return Err("empty traceEvents array".to_string());
+        }
+    } else if path.ends_with(".metrics.jsonl") {
+        if text.trim().is_empty() {
+            return Err("no interval samples".to_string());
+        }
+        for (i, line) in text.lines().enumerate() {
+            Value::parse(line).map_err(|e| format!("line {}: invalid JSON: {e}", i + 1))?;
+        }
+    } else if path.ends_with(".pipeline.txt") {
+        if text.trim().is_empty() {
+            return Err("empty diagram".to_string());
+        }
+    } else {
+        return Err("unknown artifact extension".to_string());
+    }
+    Ok(())
 }
 
 fn main() {
     let mut figures_arg = "all".to_string();
     let mut engine = EngineOpts::from_env();
     let mut quiet = false;
+    let mut check_paths: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -48,6 +94,9 @@ fn main() {
             }
             "--no-cache" => engine.cache_dir = None,
             "--checked" => engine.checked = true,
+            "--trace" => engine.trace.push(args.next().unwrap_or_else(|| usage())),
+            "--metrics" => engine.metrics = true,
+            "--check-artifact" => check_paths.push(args.next().unwrap_or_else(|| usage())),
             "--quiet" => quiet = true,
             "--list" => {
                 for name in figure_names() {
@@ -58,6 +107,25 @@ fn main() {
             "--help" | "-h" => usage(),
             _ => usage(),
         }
+    }
+
+    if !check_paths.is_empty() {
+        let mut bad = 0;
+        for path in &check_paths {
+            match check_artifact(path) {
+                Ok(()) => eprintln!("artifact ok: {path}"),
+                Err(reason) => {
+                    eprintln!("artifact BAD: {path}: {reason}");
+                    bad += 1;
+                }
+            }
+        }
+        std::process::exit(if bad > 0 { 1 } else { 0 });
+    }
+
+    if !engine.trace.is_empty() && engine.cache_dir.is_none() {
+        eprintln!("--trace needs a cache directory for its artifacts (drop --no-cache)");
+        std::process::exit(2);
     }
 
     let names: Vec<&'static str> = if figures_arg == "all" {
@@ -105,6 +173,23 @@ fn main() {
                     done += 1;
                     eprintln!("[{done:>4}] FAILED   {label}: {error}");
                 }
+                ProgressEvent::Heartbeat {
+                    done: d,
+                    total,
+                    in_flight,
+                    elapsed,
+                    eta,
+                } => {
+                    let eta = match eta {
+                        Some(t) => format!("{:.0}s", t.as_secs_f64()),
+                        None => "?".to_string(),
+                    };
+                    eprintln!(
+                        "[heartbeat] {d}/{total} done, {in_flight} in flight, \
+                         {:.0}s elapsed, ETA {eta}",
+                        elapsed.as_secs_f64()
+                    );
+                }
             }
         }
     });
@@ -121,6 +206,15 @@ fn main() {
     };
 
     eprintln!("campaign: {}", summary.report.summary());
+    if !summary.report.slowest.is_empty() {
+        eprintln!(
+            "simulation wall time {:.1}s across workers; slowest points:",
+            summary.report.sim_wall.as_secs_f64()
+        );
+        for (label, elapsed) in &summary.report.slowest {
+            eprintln!("  {:>6.1}s  {label}", elapsed.as_secs_f64());
+        }
+    }
     for (label, error) in &summary.point_failures {
         eprintln!("failed point: {label}: {error}");
     }

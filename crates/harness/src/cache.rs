@@ -64,6 +64,30 @@ impl ResultCache {
         std::fs::rename(&tmp, self.path_of(fp))
     }
 
+    /// The observation-artifact file a fingerprint maps to for a given
+    /// extension (`trace.json`, `pipeline.txt`, `metrics.jsonl`), next to
+    /// the point's cache entry.
+    pub fn artifact_path(&self, fp: Fingerprint, ext: &str) -> PathBuf {
+        self.dir.join(format!("{fp}.{ext}"))
+    }
+
+    /// Writes an observation artifact (via tmp + rename, like [`store`])
+    /// and returns its path.
+    ///
+    /// [`store`]: ResultCache::store
+    pub fn store_artifact(
+        &self,
+        fp: Fingerprint,
+        ext: &str,
+        data: &str,
+    ) -> std::io::Result<PathBuf> {
+        let tmp = self.dir.join(format!("{fp}.{ext}.tmp"));
+        std::fs::write(&tmp, data)?;
+        let path = self.artifact_path(fp, ext);
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
     /// The diagnostic-dump file a failed point's fingerprint maps to,
     /// next to where its result would have been cached.
     pub fn failure_path_of(&self, fp: Fingerprint) -> PathBuf {

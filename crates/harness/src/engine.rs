@@ -19,15 +19,18 @@ use crate::cache::ResultCache;
 use crate::journal::{journal_path, FailedPoint, Journal};
 use crate::progress::{CampaignReport, ProgressEvent};
 use crate::spec::{CampaignSpec, PointMetrics, SimPoint, WorkUnit};
-use s64v_core::{compare, PerformanceModel, RunOptions, RunResult, SimError};
+use s64v_core::{
+    compare, ObserveConfig, PerformanceModel, RunObservation, RunOptions, RunResult, SimError,
+};
+use s64v_observe::{perfetto_json, render_pipeline, to_jsonl};
 use s64v_workloads::{smp_traces, suite::tpcc_program, Suite};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::Sender;
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::mpsc::{RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// How one point ended.
 #[derive(Debug, Clone, PartialEq)]
@@ -179,6 +182,58 @@ pub fn execute_point(point: &SimPoint) -> PointMetrics {
     try_execute_point(point, RunOptions::default()).unwrap_or_else(|e| panic!("{e}"))
 }
 
+/// Observed variant of [`try_execute_point`]: same simulation, plus the
+/// run's [`RunObservation`] per `ocfg`. Observation is read-only, so the
+/// metrics are byte-identical to the unobserved call — cache entries
+/// written from either path are interchangeable. `Verify` points drive
+/// two machines through `compare` and record nothing (the observation
+/// comes back empty).
+pub fn try_execute_point_observed(
+    point: &SimPoint,
+    opts: RunOptions,
+    ocfg: ObserveConfig,
+) -> Result<(PointMetrics, RunObservation), SimError> {
+    match point.work {
+        WorkUnit::Program { suite, index } => {
+            let programs = Suite::preset(suite);
+            let trace =
+                programs.programs()[index].generate(point.records + point.warmup, point.seed);
+            let model = PerformanceModel::new(point.config.clone());
+            let (r, obs) = model.try_run_traces_warm_observed(
+                std::slice::from_ref(&trace),
+                point.warmup,
+                opts,
+                ocfg,
+            )?;
+            Ok((metrics_from(&r), obs))
+        }
+        WorkUnit::SmpTpcc => {
+            let traces = smp_traces(
+                &tpcc_program(),
+                point.config.cpus,
+                point.records + point.warmup,
+                point.seed,
+            );
+            let model = PerformanceModel::new(point.config.clone());
+            let (r, obs) = model.try_run_traces_warm_observed(&traces, point.warmup, opts, ocfg)?;
+            Ok((metrics_from(&r), obs))
+        }
+        WorkUnit::Verify { .. } => Ok((try_execute_point(point, opts)?, RunObservation::default())),
+    }
+}
+
+/// Renders a traced point's pipeline diagram, one section per CPU.
+fn pipeline_text(obs: &RunObservation) -> String {
+    let mut out = String::new();
+    for (cpu, timelines) in obs.timelines.iter().enumerate() {
+        if obs.timelines.len() > 1 {
+            out.push_str(&format!("=== cpu{cpu} ===\n"));
+        }
+        out.push_str(&render_pipeline(timelines, 200));
+    }
+    out
+}
+
 /// Trace records a point covers (warm-up included, all CPUs).
 fn point_records(point: &SimPoint) -> u64 {
     let per_stream = (point.records + point.warmup) as u64;
@@ -263,6 +318,44 @@ pub fn run_campaign(
         spec.points.iter().map(|_| Mutex::new(None)).collect();
     let cache_hits = AtomicUsize::new(0);
     let simulated_records = AtomicU64::new(0);
+    // Self-profile: summed per-point simulation wall time (nanoseconds)
+    // and the per-point timings behind the report's slowest-points list.
+    let sim_wall_nanos = AtomicU64::new(0);
+    let point_timings: Mutex<Vec<(String, Duration)>> = Mutex::new(Vec::new());
+
+    // Heartbeat bookkeeping. `Arc` because the heartbeat thread outlives
+    // the worker scope's borrows (it is joined after the scope, once the
+    // stop channel drops).
+    let done = Arc::new(AtomicUsize::new(0));
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    let heartbeat = match (spec.heartbeat, &progress) {
+        (Some(period), Some(tx)) => {
+            let (stop_tx, stop_rx) = std::sync::mpsc::channel::<()>();
+            let tx = tx.clone();
+            let done = Arc::clone(&done);
+            let in_flight = Arc::clone(&in_flight);
+            let total = spec.points.len();
+            let handle = std::thread::spawn(move || {
+                // Anything but a timeout — a message or a dropped sender
+                // — means "stop".
+                while let Err(RecvTimeoutError::Timeout) = stop_rx.recv_timeout(period) {
+                    let done = done.load(Ordering::Relaxed);
+                    let elapsed = start.elapsed();
+                    let eta =
+                        (done > 0).then(|| elapsed.mul_f64((total - done) as f64 / done as f64));
+                    let _ = tx.send(ProgressEvent::Heartbeat {
+                        done,
+                        total,
+                        in_flight: in_flight.load(Ordering::Relaxed),
+                        elapsed,
+                        eta,
+                    });
+                }
+            });
+            Some((stop_tx, handle))
+        }
+        _ => None,
+    };
 
     // Point panics are caught and reported as failures; the default hook
     // would additionally spray a backtrace per panic onto stderr, burying
@@ -279,6 +372,10 @@ pub fn run_campaign(
             let journal = journal.as_ref();
             let cache_hits = &cache_hits;
             let simulated_records = &simulated_records;
+            let sim_wall_nanos = &sim_wall_nanos;
+            let point_timings = &point_timings;
+            let done = &done;
+            let in_flight = &in_flight;
             let progress = progress.clone();
             scope.spawn(move || {
                 while let Some(index) = deques.pop(worker) {
@@ -286,41 +383,87 @@ pub fn run_campaign(
                     let label = point.label();
                     let fp = point.fingerprint();
                     let point_start = Instant::now();
+                    in_flight.fetch_add(1, Ordering::Relaxed);
                     send(&progress, || ProgressEvent::Started {
                         index,
                         label: label.clone(),
                     });
 
-                    if let Some(hit) = cache.and_then(|c| c.load(fp)) {
-                        cache_hits.fetch_add(1, Ordering::Relaxed);
-                        if let Some(j) = journal {
-                            j.record_ok(fp, &label);
+                    // A point selected for tracing or metrics must actually
+                    // simulate — the artifacts come from a live run — so it
+                    // bypasses the cache *read*. The write side is shared:
+                    // observation is read-only, so the metrics it stores are
+                    // byte-identical to an unobserved run's.
+                    let wants_trace = spec.observe.wants_trace(&label);
+                    let observed = wants_trace || spec.observe.metrics;
+
+                    if !observed {
+                        if let Some(hit) = cache.and_then(|c| c.load(fp)) {
+                            cache_hits.fetch_add(1, Ordering::Relaxed);
+                            if let Some(j) = journal {
+                                j.record_ok(fp, &label);
+                            }
+                            send(&progress, || ProgressEvent::Finished {
+                                index,
+                                label: label.clone(),
+                                cache_hit: true,
+                                records: point_records(point),
+                                elapsed: point_start.elapsed(),
+                            });
+                            *slots[index].lock().expect("slot poisoned") =
+                                Some(PointOutcome::Metrics(hit));
+                            done.fetch_add(1, Ordering::Relaxed);
+                            in_flight.fetch_sub(1, Ordering::Relaxed);
+                            continue;
                         }
-                        send(&progress, || ProgressEvent::Finished {
-                            index,
-                            label: label.clone(),
-                            cache_hit: true,
-                            records: point_records(point),
-                            elapsed: point_start.elapsed(),
-                        });
-                        *slots[index].lock().expect("slot poisoned") =
-                            Some(PointOutcome::Metrics(hit));
-                        continue;
                     }
 
                     let opts = RunOptions {
                         checked: spec.checked,
                         fault: spec.fault,
                     };
-                    let outcome = match catch_unwind(AssertUnwindSafe(|| {
-                        try_execute_point(point, opts)
-                    })) {
-                        Ok(Ok(metrics)) => {
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        if observed {
+                            let ocfg = if wants_trace {
+                                ObserveConfig {
+                                    interval: spec.observe.interval,
+                                    ..ObserveConfig::default()
+                                }
+                            } else {
+                                ObserveConfig::metrics_only(spec.observe.interval)
+                            };
+                            try_execute_point_observed(point, opts, ocfg)
+                        } else {
+                            try_execute_point(point, opts).map(|m| (m, RunObservation::default()))
+                        }
+                    }));
+                    let outcome = match run {
+                        Ok(Ok((metrics, obs))) => {
                             simulated_records.fetch_add(point_records(point), Ordering::Relaxed);
+                            let sim_elapsed = point_start.elapsed();
+                            sim_wall_nanos
+                                .fetch_add(sim_elapsed.as_nanos() as u64, Ordering::Relaxed);
+                            point_timings
+                                .lock()
+                                .expect("timings poisoned")
+                                .push((label.clone(), sim_elapsed));
                             if let Some(c) = cache {
                                 // A failed store degrades the next run to a
                                 // re-simulation; the current one is unharmed.
                                 let _ = c.store(fp, &metrics);
+                                if wants_trace {
+                                    let _ =
+                                        c.store_artifact(fp, "trace.json", &perfetto_json(&obs));
+                                    let _ =
+                                        c.store_artifact(fp, "pipeline.txt", &pipeline_text(&obs));
+                                }
+                                if spec.observe.metrics {
+                                    let _ = c.store_artifact(
+                                        fp,
+                                        "metrics.jsonl",
+                                        &to_jsonl(&obs.intervals),
+                                    );
+                                }
                             }
                             if let Some(j) = journal {
                                 j.record_ok(fp, &label);
@@ -370,11 +513,17 @@ pub fn run_campaign(
                         }
                     };
                     *slots[index].lock().expect("slot poisoned") = Some(outcome);
+                    done.fetch_add(1, Ordering::Relaxed);
+                    in_flight.fetch_sub(1, Ordering::Relaxed);
                 }
             });
         }
     });
     std::panic::set_hook(default_hook);
+    if let Some((stop_tx, handle)) = heartbeat {
+        drop(stop_tx); // disconnect wakes the heartbeat thread immediately
+        let _ = handle.join();
+    }
 
     let outcomes: Vec<PointOutcome> = slots
         .into_iter()
@@ -388,12 +537,17 @@ pub fn run_campaign(
         .iter()
         .filter(|o| matches!(o, PointOutcome::Metrics(_)))
         .count();
+    let mut slowest = point_timings.into_inner().expect("timings poisoned");
+    slowest.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    slowest.truncate(5);
     let report = CampaignReport {
         completed,
         failed: outcomes.len() - completed,
         cache_hits: cache_hits.into_inner(),
         simulated_records: simulated_records.into_inner(),
         elapsed: start.elapsed(),
+        sim_wall: Duration::from_nanos(sim_wall_nanos.into_inner()),
+        slowest,
     };
     Ok(CampaignOutcome {
         outcomes,
@@ -497,6 +651,150 @@ mod tests {
             plain.outcomes[0].metrics(),
             checked.outcomes[0].metrics(),
             "the auditor must not perturb results"
+        );
+    }
+
+    #[test]
+    fn observed_campaign_writes_artifacts_and_identical_cache_entries() {
+        let pid = std::process::id();
+        let dir_plain = std::env::temp_dir().join(format!("s64v-obs-plain-{pid}"));
+        let dir_obs = std::env::temp_dir().join(format!("s64v-obs-traced-{pid}"));
+        std::fs::remove_dir_all(&dir_plain).ok();
+        std::fs::remove_dir_all(&dir_obs).ok();
+
+        let points = vec![program_point(3_000, 1)];
+        let fp = points[0].fingerprint();
+        run_campaign(
+            &CampaignSpec::new("unit", points.clone()).with_cache_dir(&dir_plain),
+            None,
+        )
+        .expect("plain run");
+        run_campaign(
+            &CampaignSpec::new("unit", points)
+                .with_cache_dir(&dir_obs)
+                .with_trace("")
+                .with_metrics(),
+            None,
+        )
+        .expect("observed run");
+
+        // Observation never perturbs the simulation, so the cache entry an
+        // observed run stores is byte-identical to a plain run's.
+        let cache = ResultCache::open(&dir_obs).expect("open");
+        let plain_entry =
+            std::fs::read(ResultCache::open(&dir_plain).expect("open").path_of(fp)).expect("entry");
+        let obs_entry = std::fs::read(cache.path_of(fp)).expect("entry");
+        assert_eq!(
+            plain_entry, obs_entry,
+            "observation must not change results"
+        );
+
+        // The Perfetto trace parses and actually narrates the run.
+        let trace = std::fs::read_to_string(cache.artifact_path(fp, "trace.json")).expect("trace");
+        let doc = s64v_observe::json::Value::parse(&trace).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(s64v_observe::json::Value::as_array)
+            .expect("traceEvents array");
+        assert!(!events.is_empty(), "trace has events");
+
+        // The pipeline diagram rendered something.
+        let pipeline =
+            std::fs::read_to_string(cache.artifact_path(fp, "pipeline.txt")).expect("pipeline");
+        assert!(!pipeline.trim().is_empty());
+
+        // Every metrics line is a standalone JSON document.
+        let metrics =
+            std::fs::read_to_string(cache.artifact_path(fp, "metrics.jsonl")).expect("metrics");
+        assert!(!metrics.trim().is_empty());
+        for line in metrics.lines() {
+            s64v_observe::json::Value::parse(line).expect("valid JSONL line");
+        }
+
+        std::fs::remove_dir_all(&dir_plain).ok();
+        std::fs::remove_dir_all(&dir_obs).ok();
+    }
+
+    #[test]
+    fn trace_artifact_is_stable_across_thread_counts() {
+        let pid = std::process::id();
+        let dir_a = std::env::temp_dir().join(format!("s64v-obs-t1-{pid}"));
+        let dir_b = std::env::temp_dir().join(format!("s64v-obs-t4-{pid}"));
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+
+        let points: Vec<SimPoint> = (1..=3).map(|seed| program_point(3_000, seed)).collect();
+        for (dir, threads) in [(&dir_a, 1), (&dir_b, 4)] {
+            run_campaign(
+                &CampaignSpec::new("unit", points.clone())
+                    .with_threads(threads)
+                    .with_cache_dir(dir)
+                    .with_trace("")
+                    .with_metrics(),
+                None,
+            )
+            .expect("run");
+        }
+        let a = ResultCache::open(&dir_a).expect("open");
+        let b = ResultCache::open(&dir_b).expect("open");
+        for p in &points {
+            let fp = p.fingerprint();
+            for ext in ["trace.json", "pipeline.txt", "metrics.jsonl"] {
+                let one = std::fs::read(a.artifact_path(fp, ext)).expect(ext);
+                let four = std::fs::read(b.artifact_path(fp, ext)).expect(ext);
+                assert_eq!(one, four, "{ext} must not depend on the thread count");
+            }
+        }
+
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    #[test]
+    fn heartbeat_pulses_while_points_run() {
+        let spec = CampaignSpec::new("unit", vec![program_point(60_000, 1)])
+            .with_heartbeat(Some(Duration::from_millis(1)));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let outcome = run_campaign(&spec, Some(tx)).expect("run");
+        assert_eq!(outcome.report.completed, 1);
+
+        let beats: Vec<ProgressEvent> = rx
+            .try_iter()
+            .filter(|e| matches!(e, ProgressEvent::Heartbeat { .. }))
+            .collect();
+        assert!(!beats.is_empty(), "a 1ms period must pulse at least once");
+        for beat in &beats {
+            let ProgressEvent::Heartbeat {
+                done,
+                total,
+                in_flight,
+                eta,
+                ..
+            } = beat
+            else {
+                unreachable!()
+            };
+            assert_eq!(*total, 1);
+            assert!(*done <= 1 && *in_flight <= 1);
+            if *done == 0 {
+                assert!(eta.is_none(), "no finished point, no estimate");
+            }
+        }
+    }
+
+    #[test]
+    fn report_profiles_simulation_wall_time() {
+        let spec = CampaignSpec::new(
+            "unit",
+            vec![program_point(3_000, 1), program_point(6_000, 2)],
+        );
+        let outcome = run_campaign(&spec, None).expect("run");
+        let r = &outcome.report;
+        assert!(r.sim_wall > Duration::ZERO, "simulation took time");
+        assert_eq!(r.slowest.len(), 2, "both simulated points are profiled");
+        assert!(
+            r.slowest[0].1 >= r.slowest[1].1,
+            "slowest points come first"
         );
     }
 

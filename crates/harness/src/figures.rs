@@ -13,7 +13,9 @@
 use crate::engine::{run_campaign, PointOutcome};
 use crate::journal::FailedPoint;
 use crate::progress::{CampaignReport, ProgressEvent};
-use crate::spec::{env_usize, CampaignSpec, HarnessOpts, PointMetrics, SimPoint, WorkUnit};
+use crate::spec::{
+    env_usize, CampaignSpec, HarnessOpts, ObservePlan, PointMetrics, SimPoint, WorkUnit,
+};
 use crate::{banner, emit};
 use s64v_core::accuracy::{machine_residual, MACHINE_RESIDUAL_MAX};
 use s64v_core::fingerprint::Fingerprint;
@@ -26,6 +28,7 @@ use s64v_workloads::{Suite, SuiteKind};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::mpsc::Sender;
+use std::time::Duration;
 
 /// The five uniprocessor workloads in the paper's reporting order.
 pub const UP_SUITES: [SuiteKind; 5] = [
@@ -1258,6 +1261,8 @@ pub fn figure_names() -> Vec<&'static str> {
 /// | `S64V_CACHE_DIR` | result-cache directory | `results-cache` |
 /// | `S64V_NO_CACHE` | disable the cache when set to `1` | unset |
 /// | `S64V_CHECKED` | run the invariant auditor when set to `1` | unset |
+/// | `S64V_TRACE` | comma-separated label substrings to trace | unset |
+/// | `S64V_METRICS` | record interval metrics when set to `1` | unset |
 ///
 /// Rendered tables additionally honour `S64V_RESULTS_DIR` (see
 /// [`crate::emit`]) so reduced-size smoke runs can write CSVs to a
@@ -1270,6 +1275,10 @@ pub struct EngineOpts {
     pub cache_dir: Option<PathBuf>,
     /// Run every point in checked mode (invariant auditor on).
     pub checked: bool,
+    /// Label substrings selecting points for full event tracing.
+    pub trace: Vec<String>,
+    /// Record interval metrics for every point.
+    pub metrics: bool,
 }
 
 impl EngineOpts {
@@ -1287,10 +1296,21 @@ impl EngineOpts {
             ))
         };
         let checked = std::env::var("S64V_CHECKED").is_ok_and(|v| v == "1");
+        let trace = std::env::var("S64V_TRACE")
+            .map(|v| {
+                v.split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let metrics = std::env::var("S64V_METRICS").is_ok_and(|v| v == "1");
         EngineOpts {
             threads,
             cache_dir,
             checked,
+            trace,
+            metrics,
         }
     }
 }
@@ -1350,6 +1370,12 @@ pub fn run_figures(
         cache_dir: engine.cache_dir.clone(),
         checked: engine.checked,
         fault: None,
+        observe: ObservePlan {
+            trace_matches: engine.trace.clone(),
+            metrics: engine.metrics,
+            ..ObservePlan::default()
+        },
+        heartbeat: Some(Duration::from_secs(10)),
     };
     let outcome = run_campaign(&spec, progress).map_err(|e| format!("campaign I/O: {e}"))?;
     let store = PointStore::from_run(&spec.points, &outcome.outcomes);

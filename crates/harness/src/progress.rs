@@ -40,6 +40,20 @@ pub enum ProgressEvent {
         /// The recovered panic message.
         error: String,
     },
+    /// Periodic liveness pulse while points are running (period set by
+    /// `CampaignSpec::heartbeat`).
+    Heartbeat {
+        /// Points finished or failed so far.
+        done: usize,
+        /// Total points in the campaign.
+        total: usize,
+        /// Points currently being simulated.
+        in_flight: usize,
+        /// Wall time since the campaign started.
+        elapsed: Duration,
+        /// Naive remaining-time estimate (`None` until a point finishes).
+        eta: Option<Duration>,
+    },
 }
 
 /// Aggregate outcome of a campaign run.
@@ -55,6 +69,11 @@ pub struct CampaignReport {
     pub simulated_records: u64,
     /// Wall time for the whole campaign.
     pub elapsed: Duration,
+    /// Summed per-point simulation wall time across all workers (the
+    /// engine's self-profile; exceeds `elapsed` when workers overlap).
+    pub sim_wall: Duration,
+    /// The slowest simulated points, worst first: `(label, wall time)`.
+    pub slowest: Vec<(String, Duration)>,
 }
 
 impl CampaignReport {
@@ -95,6 +114,7 @@ mod tests {
             cache_hits: 4,
             simulated_records: 3_000_000,
             elapsed: Duration::from_secs(2),
+            ..Default::default()
         };
         assert_eq!(r.records_per_second(), 1_500_000.0);
         let s = r.summary();

@@ -10,6 +10,7 @@ use s64v_core::fingerprint::{Fingerprint, StableHasher};
 use s64v_core::{FaultPlan, SystemConfig};
 use s64v_workloads::SuiteKind;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Run sizes for a harness invocation, read from the environment:
 ///
@@ -212,6 +213,48 @@ impl PointMetrics {
     }
 }
 
+/// What the engine records beyond metrics (see `s64v-observe`).
+///
+/// Observation never enters a point's fingerprint: probes and samplers
+/// are read-only, so an observed point produces byte-identical
+/// [`PointMetrics`] (and therefore byte-identical cache entries) to an
+/// unobserved one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservePlan {
+    /// Label substrings selecting points for full event tracing. A
+    /// matching point records the event stream and instruction timelines
+    /// and exports `<fp>.trace.json` (Perfetto) and `<fp>.pipeline.txt`
+    /// (ASCII pipeline diagram) next to its cache entry.
+    pub trace_matches: Vec<String>,
+    /// Record interval metrics for every simulated point and export them
+    /// as `<fp>.metrics.jsonl` next to the cache entry.
+    pub metrics: bool,
+    /// Interval-sample window length in cycles.
+    pub interval: u64,
+}
+
+impl Default for ObservePlan {
+    fn default() -> Self {
+        ObservePlan {
+            trace_matches: Vec::new(),
+            metrics: false,
+            interval: 10_000,
+        }
+    }
+}
+
+impl ObservePlan {
+    /// Whether the plan records anything at all.
+    pub fn is_active(&self) -> bool {
+        self.metrics || !self.trace_matches.is_empty()
+    }
+
+    /// Whether a point with this label gets full event tracing.
+    pub fn wants_trace(&self, label: &str) -> bool {
+        self.trace_matches.iter().any(|m| label.contains(m))
+    }
+}
+
 /// A declarative campaign: named points plus execution options.
 #[derive(Debug, Clone)]
 pub struct CampaignSpec {
@@ -234,6 +277,14 @@ pub struct CampaignSpec {
     /// hits skip simulation, so a previously cached success would mask
     /// the fault.
     pub fault: Option<FaultPlan>,
+    /// Tracing/metrics recording (see [`ObservePlan`]). Observation is
+    /// read-only, so it stays out of point fingerprints; traced points
+    /// bypass cache *reads* (the artifacts require a live simulation) but
+    /// still share cache *writes* with plain runs.
+    pub observe: ObservePlan,
+    /// Emit a [`crate::progress::ProgressEvent::Heartbeat`] at this
+    /// period while points are running (`None` = no heartbeat).
+    pub heartbeat: Option<Duration>,
 }
 
 impl CampaignSpec {
@@ -246,6 +297,8 @@ impl CampaignSpec {
             cache_dir: None,
             checked: false,
             fault: None,
+            observe: ObservePlan::default(),
+            heartbeat: Some(Duration::from_secs(10)),
         }
     }
 
@@ -272,6 +325,25 @@ impl CampaignSpec {
     /// catch it).
     pub fn with_fault(mut self, fault: FaultPlan) -> Self {
         self.fault = Some(fault);
+        self
+    }
+
+    /// Traces every point whose label contains `pattern` (empty string =
+    /// every point). Requires a cache directory for the artifacts.
+    pub fn with_trace(mut self, pattern: impl Into<String>) -> Self {
+        self.observe.trace_matches.push(pattern.into());
+        self
+    }
+
+    /// Records interval metrics for every point.
+    pub fn with_metrics(mut self) -> Self {
+        self.observe.metrics = true;
+        self
+    }
+
+    /// Sets the heartbeat period (`None` silences the heartbeat).
+    pub fn with_heartbeat(mut self, period: Option<Duration>) -> Self {
+        self.heartbeat = period;
         self
     }
 }

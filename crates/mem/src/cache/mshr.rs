@@ -29,9 +29,12 @@ impl MshrFile {
         }
     }
 
-    /// Removes entries whose fills completed at or before `now`.
-    pub fn retire_completed(&mut self, now: u64) {
+    /// Removes entries whose fills completed at or before `now`; returns
+    /// how many entries retired.
+    pub fn retire_completed(&mut self, now: u64) -> usize {
+        let before = self.pending.len();
         self.pending.retain(|_, &mut done| done > now);
+        before - self.pending.len()
     }
 
     /// If the line is already in flight, returns its completion cycle
@@ -130,7 +133,7 @@ mod tests {
         let mut m = MshrFile::new(2);
         m.allocate(0x00, 10);
         m.allocate(0x40, 20);
-        m.retire_completed(15);
+        assert_eq!(m.retire_completed(15), 1);
         assert_eq!(m.occupancy(), 1);
         assert_eq!(m.pending_completion(0x40), Some(20));
         assert_eq!(m.pending_completion(0x00), None);

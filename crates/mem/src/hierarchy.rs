@@ -16,7 +16,7 @@
 //! queues until its requested line become ready" behaviour.
 
 use crate::addr::line_of;
-use crate::bus::{BusOp, SystemBus};
+use crate::bus::{BusGrant, BusOp, SystemBus};
 use crate::cache::{Cache, MshrFile};
 use crate::coherence::{Directory, Mesi, ReadOutcome};
 use crate::config::{BusTopology, MemConfig};
@@ -24,6 +24,7 @@ use crate::dram::Dram;
 use crate::prefetch::StridePrefetcher;
 use crate::stats::MemStats;
 use crate::tlb::Tlb;
+use s64v_observe::{BusId, CacheLevel, CohAction, ObsEvent, Probe};
 use std::collections::HashSet;
 
 /// Result of an instruction fetch access.
@@ -181,6 +182,8 @@ pub struct MemorySystem {
     smp: bool,
     /// Per-CPU "drop the next fill" fault flags (fault injection only).
     drop_fill: Vec<bool>,
+    /// Optional structured-event sink (pure observer, see `s64v-observe`).
+    probe: Option<Box<dyn Probe>>,
 }
 
 impl MemorySystem {
@@ -210,6 +213,7 @@ impl MemorySystem {
             dir: Directory::new(cores),
             smp: cores > 1,
             drop_fill: vec![false; cores],
+            probe: None,
             cfg,
         }
     }
@@ -253,6 +257,50 @@ impl MemorySystem {
         &self.bus
     }
 
+    /// Attaches a structured-event [`Probe`]. Probes only observe: every
+    /// access outcome and completion time is identical with or without
+    /// one attached (the timed paths below emit *after* deciding).
+    pub fn attach_probe(&mut self, probe: Box<dyn Probe>) {
+        self.probe = Some(probe);
+    }
+
+    /// Detaches and returns the probe, if one was attached.
+    pub fn take_probe(&mut self) -> Option<Box<dyn Probe>> {
+        self.probe.take()
+    }
+
+    fn emit(&mut self, ev: ObsEvent) {
+        if let Some(p) = self.probe.as_mut() {
+            p.event(ev);
+        }
+    }
+
+    /// Backplane-bus request with event emission.
+    fn req_backplane(&mut self, t: u64, op: BusOp, window: u64) -> BusGrant {
+        let g = self.bus.request(t, op, window);
+        self.emit(ObsEvent::BusGrant {
+            bus: BusId::Backplane,
+            cycle: t,
+            line_transfer: op == BusOp::LineTransfer,
+            granted_at: g.granted_at,
+            done_at: g.done_at,
+        });
+        g
+    }
+
+    /// Board-local bus request with event emission.
+    fn req_board(&mut self, board: usize, t: u64, op: BusOp, window: u64) -> BusGrant {
+        let g = self.boards[board].request(t, op, window);
+        self.emit(ObsEvent::BusGrant {
+            bus: BusId::Board(board as u8),
+            cycle: t,
+            line_transfer: op == BusOp::LineTransfer,
+            granted_at: g.granted_at,
+            done_at: g.done_at,
+        });
+        g
+    }
+
     /// Instruction fetch of the line containing `pc` at cycle `now`.
     pub fn fetch(&mut self, core: usize, pc: u64, now: u64) -> FetchAccess {
         let tlb_miss = if self.cfg.perfect_tlb {
@@ -272,6 +320,13 @@ impl MemorySystem {
 
         if self.cfg.perfect_l1 {
             self.cores[core].stats.l1i.record(true);
+            self.emit(ObsEvent::CacheAccess {
+                core: core as u32,
+                cycle: now,
+                level: CacheLevel::L1I,
+                hit: true,
+                is_store: false,
+            });
             return FetchAccess {
                 ready_at: t + lat,
                 l1_hit: true,
@@ -283,6 +338,13 @@ impl MemorySystem {
         let line = line_of(pc);
         let hit = self.cores[core].l1i.access(pc);
         self.cores[core].stats.l1i.record(hit);
+        self.emit(ObsEvent::CacheAccess {
+            core: core as u32,
+            cycle: now,
+            level: CacheLevel::L1I,
+            hit,
+            is_store: false,
+        });
         if hit {
             let mut ready = t + lat;
             if let Some(p) = self.cores[core].l1i_mshr.pending_completion(line) {
@@ -309,9 +371,24 @@ impl MemorySystem {
             };
         }
         let stall_until = self.cores[core].l1i_mshr.next_free_at(miss_seen_at);
-        self.cores[core].l1i_mshr.retire_completed(stall_until);
+        let retired = self.cores[core].l1i_mshr.retire_completed(stall_until);
+        if retired > 0 {
+            self.emit(ObsEvent::MshrRetire {
+                core: core as u32,
+                cycle: stall_until,
+                level: CacheLevel::L1I,
+                retired: retired as u32,
+            });
+        }
         let fill = self.fill_l2(core, line, stall_until, false, false);
         self.cores[core].l1i_mshr.allocate(line, fill.ready_at);
+        self.emit(ObsEvent::MshrAlloc {
+            core: core as u32,
+            cycle: stall_until,
+            level: CacheLevel::L1I,
+            line,
+            ready_at: fill.ready_at,
+        });
         if let Some(ev) = self.cores[core].l1i.fill(pc, false) {
             // Instruction lines are never dirty; nothing to write back.
             debug_assert!(!ev.dirty);
@@ -361,7 +438,7 @@ impl MemorySystem {
         let lat = self.cfg.l1d.latency as u64;
 
         if self.cfg.perfect_l1 {
-            self.record_l1d(core, true, is_store);
+            self.record_l1d(core, true, is_store, now);
             return DataAccess {
                 ready_at: t + lat,
                 l1_hit: true,
@@ -372,7 +449,7 @@ impl MemorySystem {
 
         let line = line_of(addr);
         let hit = self.cores[core].l1d.access(addr);
-        self.record_l1d(core, hit, is_store);
+        self.record_l1d(core, hit, is_store, now);
 
         if hit {
             if is_store {
@@ -410,9 +487,24 @@ impl MemorySystem {
             };
         }
         let stall_until = self.cores[core].l1d_mshr.next_free_at(miss_seen_at);
-        self.cores[core].l1d_mshr.retire_completed(stall_until);
+        let retired = self.cores[core].l1d_mshr.retire_completed(stall_until);
+        if retired > 0 {
+            self.emit(ObsEvent::MshrRetire {
+                core: core as u32,
+                cycle: stall_until,
+                level: CacheLevel::L1D,
+                retired: retired as u32,
+            });
+        }
         let fill = self.fill_l2(core, line, stall_until, is_store, false);
         self.cores[core].l1d_mshr.allocate(line, fill.ready_at);
+        self.emit(ObsEvent::MshrAlloc {
+            core: core as u32,
+            cycle: stall_until,
+            level: CacheLevel::L1D,
+            line,
+            ready_at: fill.ready_at,
+        });
         if let Some(ev) = self.cores[core].l1d.fill(addr, is_store) {
             if ev.dirty {
                 // Copy-back into the (inclusive) L2: structural only; the
@@ -439,7 +531,7 @@ impl MemorySystem {
         }
     }
 
-    fn record_l1d(&mut self, core: usize, hit: bool, is_store: bool) {
+    fn record_l1d(&mut self, core: usize, hit: bool, is_store: bool, now: u64) {
         let stats = &mut self.cores[core].stats;
         stats.l1d.record(hit);
         if is_store {
@@ -447,6 +539,13 @@ impl MemorySystem {
         } else {
             stats.l1d_loads.record(hit);
         }
+        self.emit(ObsEvent::CacheAccess {
+            core: core as u32,
+            cycle: now,
+            level: CacheLevel::L1D,
+            hit,
+            is_store,
+        });
     }
 
     /// A dirty L1 line was evicted but its line is no longer in the L2
@@ -455,8 +554,7 @@ impl MemorySystem {
     /// defensively): push it to memory.
     fn absorb_orphan_writeback(&mut self, core: usize, line_addr: u64, now: u64) {
         self.cores[core].stats.writebacks.incr();
-        self.bus
-            .request(now, BusOp::LineTransfer, self.cfg.bus_line_cycles as u64);
+        self.req_backplane(now, BusOp::LineTransfer, self.cfg.bus_line_cycles as u64);
         let _ = line_addr;
     }
 
@@ -478,6 +576,13 @@ impl MemorySystem {
             if !is_prefetch {
                 self.cores[core].stats.l2_demand.record(true);
             }
+            self.emit(ObsEvent::CacheAccess {
+                core: core as u32,
+                cycle: t,
+                level: CacheLevel::L2,
+                hit: true,
+                is_store: write_intent,
+            });
             return L2Fill {
                 ready_at: t + l2_lat,
                 hit: true,
@@ -489,6 +594,13 @@ impl MemorySystem {
         if !is_prefetch {
             self.cores[core].stats.l2_demand.record(hit);
         }
+        self.emit(ObsEvent::CacheAccess {
+            core: core as u32,
+            cycle: t,
+            level: CacheLevel::L2,
+            hit,
+            is_store: write_intent,
+        });
 
         if hit {
             if self.cores[core].prefetched_lines.remove(&line_addr) && !is_prefetch {
@@ -528,7 +640,15 @@ impl MemorySystem {
 
         // Primary L2 miss: stall for an MSHR, then go off-core.
         let t = self.cores[core].l2_mshr.next_free_at(t + l2_lat);
-        self.cores[core].l2_mshr.retire_completed(t);
+        let retired = self.cores[core].l2_mshr.retire_completed(t);
+        if retired > 0 {
+            self.emit(ObsEvent::MshrRetire {
+                core: core as u32,
+                cycle: t,
+                level: CacheLevel::L2,
+                retired: retired as u32,
+            });
+        }
         let data_at = if self.smp {
             self.miss_coherent(core, line_addr, t, write_intent)
         } else {
@@ -536,6 +656,13 @@ impl MemorySystem {
         };
 
         self.cores[core].l2_mshr.allocate(line_addr, data_at);
+        self.emit(ObsEvent::MshrAlloc {
+            core: core as u32,
+            cycle: t,
+            level: CacheLevel::L2,
+            line: line_addr,
+            ready_at: data_at,
+        });
         let ev = {
             let cm = &mut self.cores[core];
             let (l1d, l1i) = (&cm.l1d, &cm.l1i);
@@ -559,23 +686,21 @@ impl MemorySystem {
         let round_trip = snoop + self.cfg.dram_latency as u64 + self.cfg.bus_line_cycles as u64;
         match self.board_of(core) {
             None => {
-                let cmd = self.bus.request(t, BusOp::Command, round_trip);
+                let cmd = self.req_backplane(t, BusOp::Command, round_trip);
                 let mem_done = self.dram.access(cmd.done_at + snoop, line_addr);
-                let data = self.bus.request(mem_done, BusOp::LineTransfer, 0);
+                let data = self.req_backplane(mem_done, BusOp::LineTransfer, 0);
                 data.done_at
             }
             Some(board) => {
                 // Request: board bus, crossing, backplane; data comes back
                 // the same way.
                 let crossing = self.board_crossing();
-                let cmd = self.boards[board].request(t, BusOp::Command, round_trip);
-                let bp_cmd = self
-                    .bus
-                    .request(cmd.done_at + crossing, BusOp::Command, round_trip);
+                let cmd = self.req_board(board, t, BusOp::Command, round_trip);
+                let bp_cmd = self.req_backplane(cmd.done_at + crossing, BusOp::Command, round_trip);
                 let mem_done = self.dram.access(bp_cmd.done_at + snoop, line_addr);
-                let bp_data = self.bus.request(mem_done, BusOp::LineTransfer, 0);
+                let bp_data = self.req_backplane(mem_done, BusOp::LineTransfer, 0);
                 let data =
-                    self.boards[board].request(bp_data.done_at + crossing, BusOp::LineTransfer, 0);
+                    self.req_board(board, bp_data.done_at + crossing, BusOp::LineTransfer, 0);
                 data.done_at
             }
         }
@@ -594,13 +719,33 @@ impl MemorySystem {
             if let Some(owner) = w.move_out_from {
                 self.cores[owner].stats.coherence.move_outs_out.incr();
                 self.cores[core].stats.coherence.move_outs_in.incr();
+                self.emit(ObsEvent::Coherence {
+                    core: core as u32,
+                    cycle: t,
+                    line: line_addr,
+                    action: CohAction::MoveOut {
+                        owner: owner as u32,
+                    },
+                });
                 self.move_out_transfer(core, owner, t)
             } else {
+                self.emit(ObsEvent::Coherence {
+                    core: core as u32,
+                    cycle: t,
+                    line: line_addr,
+                    action: CohAction::WriteMiss,
+                });
                 self.miss_from_memory(core, line_addr, t, snoop)
             }
         } else {
             match self.dir.read(core, line_addr) {
                 ReadOutcome::FromMemory | ReadOutcome::SharedFill => {
+                    self.emit(ObsEvent::Coherence {
+                        core: core as u32,
+                        cycle: t,
+                        line: line_addr,
+                        action: CohAction::ReadShared,
+                    });
                     self.miss_from_memory(core, line_addr, t, snoop)
                 }
                 ReadOutcome::MoveOut { owner } => {
@@ -609,6 +754,14 @@ impl MemorySystem {
                     // The owner keeps a now-clean copy (M→S downgrade).
                     self.cores[owner].l2.mark_clean(line_addr);
                     self.cores[owner].l1d.invalidate(line_addr);
+                    self.emit(ObsEvent::Coherence {
+                        core: core as u32,
+                        cycle: t,
+                        line: line_addr,
+                        action: CohAction::MoveOut {
+                            owner: owner as u32,
+                        },
+                    });
                     self.move_out_transfer(core, owner, t)
                 }
             }
@@ -623,33 +776,27 @@ impl MemorySystem {
                 // Cross-board move-out: request and data traverse the
                 // backplane and both board buses (§3.3's costly case).
                 let crossing = self.board_crossing();
-                let cmd = self.boards[rb].request(t, BusOp::Command, snoop + supply);
-                let bp = self
-                    .bus
-                    .request(cmd.done_at + crossing, BusOp::Command, snoop + supply);
-                let remote = self.boards[ob].request(
+                let cmd = self.req_board(rb, t, BusOp::Command, snoop + supply);
+                let bp = self.req_backplane(cmd.done_at + crossing, BusOp::Command, snoop + supply);
+                let remote = self.req_board(
+                    ob,
                     bp.done_at + crossing + snoop + supply,
                     BusOp::LineTransfer,
                     0,
                 );
-                let back = self
-                    .bus
-                    .request(remote.done_at + crossing, BusOp::LineTransfer, 0);
-                let data = self.boards[rb].request(back.done_at + crossing, BusOp::LineTransfer, 0);
+                let back = self.req_backplane(remote.done_at + crossing, BusOp::LineTransfer, 0);
+                let data = self.req_board(rb, back.done_at + crossing, BusOp::LineTransfer, 0);
                 data.done_at
             }
             (Some(rb), _) => {
                 // Same board: the local bus handles it entirely.
-                let cmd = self.boards[rb].request(t, BusOp::Command, snoop + supply);
-                let data =
-                    self.boards[rb].request(cmd.done_at + snoop + supply, BusOp::LineTransfer, 0);
+                let cmd = self.req_board(rb, t, BusOp::Command, snoop + supply);
+                let data = self.req_board(rb, cmd.done_at + snoop + supply, BusOp::LineTransfer, 0);
                 data.done_at
             }
             (None, _) => {
-                let cmd = self.bus.request(t, BusOp::Command, snoop + supply);
-                let data = self
-                    .bus
-                    .request(cmd.done_at + snoop + supply, BusOp::LineTransfer, 0);
+                let cmd = self.req_backplane(t, BusOp::Command, snoop + supply);
+                let data = self.req_backplane(cmd.done_at + snoop + supply, BusOp::LineTransfer, 0);
                 data.done_at
             }
         }
@@ -687,19 +834,25 @@ impl MemorySystem {
                     .invalidations_caused
                     .add(w.invalidations as u64);
                 self.invalidate_remote_copies(core, line_addr);
+                self.emit(ObsEvent::Coherence {
+                    core: core as u32,
+                    cycle: ready,
+                    line: line_addr,
+                    action: CohAction::Upgrade,
+                });
                 let snoop = self.cfg.snoop_latency as u64;
                 if let Some(owner) = w.move_out_from {
                     self.cores[owner].stats.coherence.move_outs_out.incr();
                     self.cores[core].stats.coherence.move_outs_in.incr();
                     self.move_out_transfer(core, owner, ready)
                 } else if w.invalidations > 0 {
-                    let cmd = self.bus.request(ready, BusOp::Command, snoop);
+                    let cmd = self.req_backplane(ready, BusOp::Command, snoop);
                     cmd.done_at + snoop
                 } else {
                     // Invalid here means the directory lost the line to an
                     // earlier remote write racing this store; refetch cost
                     // is approximated by an address-only transaction.
-                    let cmd = self.bus.request(ready, BusOp::Command, snoop);
+                    let cmd = self.req_backplane(ready, BusOp::Command, snoop);
                     cmd.done_at + snoop
                 }
             }
@@ -718,8 +871,7 @@ impl MemorySystem {
         };
         if was_modified || dirty || l1d_dirty {
             self.cores[core].stats.writebacks.incr();
-            self.bus
-                .request(now, BusOp::LineTransfer, self.cfg.bus_line_cycles as u64);
+            self.req_backplane(now, BusOp::LineTransfer, self.cfg.bus_line_cycles as u64);
         }
     }
 
@@ -1194,6 +1346,31 @@ mod tests {
         // CPU 1 lost its copy.
         let re = m.load(1, 0xa000, st.ready_at + 1000);
         assert!(!re.l1_hit);
+    }
+
+    #[test]
+    fn probes_observe_without_perturbing() {
+        let mut plain = up();
+        let mut observed = up();
+        observed.attach_probe(Box::new(s64v_observe::EventLog::with_capacity(100_000)));
+        let (mut t1, mut t2) = (0, 0);
+        for i in 0..64u64 {
+            let a = plain.load(0, i * 64, t1);
+            let b = observed.load(0, i * 64, t2);
+            assert_eq!(a, b, "observation must not change access outcomes");
+            t1 = a.ready_at + 1;
+            t2 = b.ready_at + 1;
+            let f1 = plain.fetch(0, 0x40_0000 + i * 64, t1);
+            let f2 = observed.fetch(0, 0x40_0000 + i * 64, t2);
+            assert_eq!(f1, f2);
+        }
+        let log = observed.take_probe().expect("attached").into_events();
+        for kind in ["cache", "mshr-alloc", "bus-grant"] {
+            assert!(
+                log.iter().any(|e| e.kind() == kind),
+                "no {kind} events recorded"
+            );
+        }
     }
 
     #[test]

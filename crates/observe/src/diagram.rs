@@ -1,0 +1,194 @@
+//! Konata-style ASCII pipeline diagram.
+//!
+//! Renders a slice of [`InstrTimeline`] records as a text chart: one row
+//! per dynamic instruction, one column per cycle, with a marker for the
+//! stage the instruction occupied that cycle. The same idea as the
+//! Konata pipeline viewer's Kanata log, but directly human-readable in a
+//! terminal or diff:
+//!
+//! ```text
+//!        cycle 100       110       120
+//! seq             |         |         |
+//!    42 ld  [100] D==I+++++++++XC
+//!    43 add [104]  D=====I+X...C
+//! ```
+//!
+//! Markers: `D` decode, `=` waiting in a reservation station, `I` issue
+//! (dispatch to a unit), `+` executing, `X` complete, `.` waiting to
+//! retire, `C` commit. A replayed instruction spends longer in `=`; the
+//! replay count is appended when non-zero.
+
+use crate::stage::InstrTimeline;
+
+/// Renders `timelines` (already in the desired order) into an ASCII
+/// chart at most `max_width` columns wide. Instructions whose lifetime
+/// falls wholly outside the rendered cycle span are skipped; the span
+/// starts at the earliest decode and is clipped to `max_width` columns.
+pub fn render_pipeline(timelines: &[InstrTimeline], max_width: usize) -> String {
+    let complete: Vec<&InstrTimeline> = timelines
+        .iter()
+        .filter(|t| t.committed_at.is_some())
+        .collect();
+    let Some(base) = complete.iter().map(|t| t.decoded_at).min() else {
+        return String::from("(no committed instructions recorded)\n");
+    };
+    let width = max_width.max(20);
+    let last = base + width as u64 - 1;
+
+    let mut out = String::new();
+    render_ruler(&mut out, base, width);
+    for t in &complete {
+        if t.decoded_at > last {
+            continue;
+        }
+        render_row(&mut out, t, base, last);
+    }
+    out
+}
+
+fn render_ruler(out: &mut String, base: u64, width: usize) {
+    // Header: a label line with the cycle number every 10 columns, and a
+    // tick line aligning `|` under each labelled column.
+    let prefix = format!("{:>21} ", format!("cycle {base}"));
+    out.push_str(&prefix);
+    let mut labels = String::new();
+    let mut col = 10;
+    while col < width {
+        let label = (base + col as u64).to_string();
+        if labels.len() < col {
+            while labels.len() < col - label.len().min(col) {
+                labels.push(' ');
+            }
+            labels.push_str(&label);
+        }
+        col += 10;
+    }
+    out.push_str(labels.trim_end());
+    out.push('\n');
+    out.push_str(&format!("{:>21} ", "seq"));
+    let mut ticks = String::new();
+    let mut col = 10;
+    while col < width {
+        while ticks.len() < col {
+            ticks.push(' ');
+        }
+        ticks.push('|');
+        col += 10;
+    }
+    out.push_str(ticks.trim_end());
+    out.push('\n');
+}
+
+fn render_row(out: &mut String, t: &InstrTimeline, base: u64, last: u64) {
+    let commit = t.committed_at.expect("filtered to committed");
+    let label = format!(
+        "{:>6} {:<5} [{:#x}]",
+        t.seq,
+        t.op.to_string().to_ascii_lowercase(),
+        t.pc
+    );
+    out.push_str(&format!("{label:>21} "));
+    for _ in base..t.decoded_at {
+        out.push(' ');
+    }
+    for cycle in t.decoded_at..=commit.min(last) {
+        out.push(stage_marker(t, cycle, commit));
+    }
+    if commit > last {
+        out.push('>'); // clipped by the rendering window
+    }
+    if t.replays > 0 {
+        out.push_str(&format!(" (x{} replay)", t.replays));
+    }
+    out.push('\n');
+}
+
+fn stage_marker(t: &InstrTimeline, cycle: u64, commit: u64) -> char {
+    if cycle == t.decoded_at {
+        return 'D';
+    }
+    if cycle == commit {
+        return 'C';
+    }
+    match (t.dispatched_at, t.completed_at) {
+        (Some(disp), Some(comp)) => {
+            if cycle < disp {
+                '='
+            } else if cycle == disp {
+                'I'
+            } else if cycle < comp {
+                '+'
+            } else if cycle == comp {
+                'X'
+            } else {
+                '.'
+            }
+        }
+        // No dispatch record (e.g. nops complete at decode): the window
+        // residency between decode and commit is pure retire-wait.
+        _ => '.',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s64v_isa::OpClass;
+
+    fn timeline(seq: u64, d: u64, disp: u64, comp: u64, comm: u64) -> InstrTimeline {
+        InstrTimeline {
+            seq,
+            pc: 0x1000 + seq * 4,
+            op: OpClass::IntAlu,
+            decoded_at: d,
+            dispatched_at: Some(disp),
+            completed_at: Some(comp),
+            committed_at: Some(comm),
+            replays: 0,
+        }
+    }
+
+    #[test]
+    fn renders_one_row_per_committed_instruction() {
+        let mut replayed = timeline(1, 2, 8, 10, 12);
+        replayed.replays = 2;
+        let rows = [timeline(0, 0, 1, 4, 5), replayed];
+        let text = render_pipeline(&rows, 80);
+        let lines: Vec<&str> = text.lines().collect();
+        // 2 ruler lines + 2 instruction rows.
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].contains('D'));
+        assert!(lines[2].contains('I'));
+        assert!(lines[2].contains('X'));
+        assert!(lines[2].ends_with('C'));
+        assert!(lines[3].contains("(x2 replay)"));
+    }
+
+    #[test]
+    fn stage_markers_are_ordered() {
+        let t = timeline(0, 0, 3, 6, 9);
+        let text = render_pipeline(&[t], 40);
+        let row = text.lines().nth(2).unwrap();
+        let chart = row.split("] ").nth(1).unwrap();
+        assert_eq!(chart, "D==I++X..C");
+    }
+
+    #[test]
+    fn empty_and_uncommitted_inputs_render_placeholder() {
+        let mut t = timeline(0, 0, 1, 2, 3);
+        t.committed_at = None;
+        for input in [&[][..], &[t][..]] {
+            let text = render_pipeline(input, 80);
+            assert!(text.contains("no committed instructions"));
+        }
+    }
+
+    #[test]
+    fn long_lifetimes_are_clipped_to_the_window() {
+        let t = timeline(0, 0, 3, 6, 500);
+        let text = render_pipeline(&[t], 30);
+        let row = text.lines().nth(2).unwrap();
+        assert!(row.ends_with('>'));
+        assert!(row.len() < 60);
+    }
+}

@@ -1,0 +1,68 @@
+//! Per-instruction stage timestamps.
+//!
+//! [`InstrTimeline`] is the unit record of the paper's §2.2
+//! instruction-by-instruction verification flow: the cycle one dynamic
+//! instruction passed each pipeline stage. It lives here (rather than in
+//! `s64v-cpu`, which records it) so the exporters — the Perfetto trace
+//! builder and the ASCII pipeline-diagram renderer — can consume it
+//! without depending on the whole core model; `s64v-cpu` re-exports it
+//! from its `timeline` module.
+
+use s64v_isa::OpClass;
+
+/// Stage timestamps for one dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstrTimeline {
+    /// Program-order sequence number.
+    pub seq: u64,
+    /// Program counter.
+    pub pc: u64,
+    /// Instruction class.
+    pub op: OpClass,
+    /// Cycle the instruction entered the window (decode/rename).
+    pub decoded_at: u64,
+    /// Cycle of the *final* dispatch (after any replays).
+    pub dispatched_at: Option<u64>,
+    /// Cycle execution (and for loads, data return) finished.
+    pub completed_at: Option<u64>,
+    /// Cycle the instruction retired.
+    pub committed_at: Option<u64>,
+    /// Times it was cancelled and replayed (speculative dispatch, §3.1).
+    pub replays: u32,
+}
+
+impl InstrTimeline {
+    /// Whether the recorded stage times are mutually consistent
+    /// (monotone through the pipeline).
+    pub fn is_consistent(&self) -> bool {
+        let d = self.decoded_at;
+        let disp = self.dispatched_at.unwrap_or(d);
+        let comp = self.completed_at.unwrap_or(disp);
+        let comm = self.committed_at.unwrap_or(comp);
+        d <= disp && disp <= comp && comp <= comm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistency_checks_monotonicity() {
+        let mut t = InstrTimeline {
+            seq: 0,
+            pc: 0x100,
+            op: OpClass::IntAlu,
+            decoded_at: 5,
+            dispatched_at: Some(7),
+            completed_at: Some(9),
+            committed_at: Some(10),
+            replays: 0,
+        };
+        assert!(t.is_consistent());
+        t.committed_at = Some(8); // retired before completing
+        assert!(!t.is_consistent());
+        t.committed_at = None; // partial records are still consistent
+        assert!(t.is_consistent());
+    }
+}

@@ -27,4 +27,24 @@ cargo run --release -p s64v-harness --bin campaign -- \
     --checked --cache-dir "$CHECKED_SCRATCH/cache" --quiet > /dev/null
 rm -rf "$CHECKED_SCRATCH"
 
+echo "== observability smoke campaign (trace + metrics artifacts must validate)"
+OBS_SCRATCH=target/ci-observe
+rm -rf "$OBS_SCRATCH"
+S64V_RECORDS=8000 S64V_WARMUP=40000 \
+S64V_SEED=42 S64V_RESULTS_DIR="$OBS_SCRATCH/results" \
+cargo run --release -p s64v-harness --bin campaign -- \
+    --figures fig08_issue_width \
+    --trace "" --metrics --cache-dir "$OBS_SCRATCH/cache" --quiet > /dev/null
+# Every point must have written all three artifacts; validate them all
+# in one invocation (an unmatched glob reaches the validator as a
+# nonexistent path and fails the check, so absence is caught too).
+set --
+for artifact in "$OBS_SCRATCH"/cache/*.trace.json \
+                "$OBS_SCRATCH"/cache/*.pipeline.txt \
+                "$OBS_SCRATCH"/cache/*.metrics.jsonl; do
+    set -- "$@" --check-artifact "$artifact"
+done
+cargo run --release -p s64v-harness --bin campaign -- "$@" > /dev/null 2>&1
+rm -rf "$OBS_SCRATCH"
+
 echo "ci: all green"

@@ -32,6 +32,8 @@ pub use s64v_cpu as cpu;
 pub use s64v_isa as isa;
 /// Detailed memory-system model.
 pub use s64v_mem as mem;
+/// Event tracing, interval metrics, Perfetto/pipeline-diagram export.
+pub use s64v_observe as observe;
 /// Counters, ratios, histograms and report tables.
 pub use s64v_stats as stats;
 /// Trace records, streams, binary format, sampling and summaries.
