@@ -1,0 +1,173 @@
+//! First-order silicon cost model: modeled die area per configuration.
+//!
+//! Design-space queries of the form "maximize IPC subject to an area
+//! budget" need a cost axis that is a pure function of the
+//! configuration, available *without* simulating. This module provides
+//! one: a transistor-count-style area estimate in mm² at the paper's
+//! 0.13 µm process, built from the SRAM/CAM array sizes the
+//! configuration implies plus fixed logic blocks.
+//!
+//! The model is deliberately first-order — it ranks designs, it does not
+//! do floorplanning — but it is calibrated so the production SPARC64 V
+//! configuration lands near the real chip's reported ~290 mm² die, which
+//! keeps constraint values like "area ≤ 300 mm²" physically meaningful.
+//! Every term is deterministic f64 arithmetic over the configuration's
+//! integer fields, so equal configurations always cost the same bytes.
+
+use crate::system::SystemConfig;
+use s64v_mem::{CacheGeometry, L2Location};
+
+/// mm² per bit of single-ported SRAM (6T cell + array overhead, 0.13 µm).
+const SRAM_BIT_MM2: f64 = 5.0e-6;
+/// mm² per bit of fast L1 SRAM (wider cells, sense amps sized for 4-cycle
+/// access); multiplied further by the port factor.
+const L1_BIT_MM2: f64 = 1.0e-5;
+/// mm² per bit of CAM/scheduler storage (wakeup + select ports).
+const CAM_BIT_MM2: f64 = 4.0e-5;
+/// Fixed per-core logic: decode, execution units, result buses, control.
+const FIXED_CORE_MM2: f64 = 110.0;
+/// Fixed per-chip overhead: pads, clock distribution, bus interface.
+const FIXED_CHIP_MM2: f64 = 60.0;
+/// Physical-address width assumed for tag sizing.
+const PADDR_BITS: f64 = 40.0;
+
+/// Per-structure area breakdown for one chip, in modeled mm².
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostEstimate {
+    /// L1 instruction cache (data + tags).
+    pub l1i_mm2: f64,
+    /// L1 operand cache (data + tags, scaled by port count).
+    pub l1d_mm2: f64,
+    /// On-chip L2 (zero when the L2 is off-chip commodity SRAM).
+    pub l2_mm2: f64,
+    /// Instruction window (reorder buffer).
+    pub window_mm2: f64,
+    /// Reservation stations (RSE + RSF + RSA + RSBR).
+    pub rs_mm2: f64,
+    /// Load and store queues.
+    pub lsq_mm2: f64,
+    /// Rename register files (integer + floating point).
+    pub rename_mm2: f64,
+    /// TLBs (fully associative CAM).
+    pub tlb_mm2: f64,
+    /// Fixed logic (core + chip overhead).
+    pub fixed_mm2: f64,
+}
+
+impl CostEstimate {
+    /// Total modeled chip area.
+    pub fn total_mm2(&self) -> f64 {
+        self.l1i_mm2
+            + self.l1d_mm2
+            + self.l2_mm2
+            + self.window_mm2
+            + self.rs_mm2
+            + self.lsq_mm2
+            + self.rename_mm2
+            + self.tlb_mm2
+            + self.fixed_mm2
+    }
+}
+
+/// SRAM bits of one cache: data array plus tag + state per line.
+fn cache_bits(geom: &CacheGeometry) -> f64 {
+    let data_bits = geom.capacity_bytes as f64 * 8.0;
+    let index_bits = (geom.sets() as f64).log2();
+    // 64-byte lines consume 6 address bits; 4 bits of state per line.
+    let tag_bits = (PADDR_BITS - index_bits - 6.0).max(8.0) + 4.0;
+    data_bits + geom.lines() as f64 * tag_bits
+}
+
+/// Area of a multiported structure: each extra port adds 40% (extra
+/// word/bit lines grow the cell roughly linearly).
+fn port_factor(ports: u32) -> f64 {
+    1.0 + 0.4 * (ports.saturating_sub(1)) as f64
+}
+
+/// Estimates one chip's area for a configuration.
+///
+/// The estimate is per *chip*: SMP configurations share the design, so
+/// `cpus` does not multiply into it (the area constraint a designer
+/// carries is per die).
+pub fn estimate(config: &SystemConfig) -> CostEstimate {
+    let core = &config.core;
+    let mem = &config.mem;
+
+    let l2_mm2 = match mem.l2_location {
+        L2Location::OnChip => cache_bits(&mem.l2) * SRAM_BIT_MM2,
+        // Off-chip L2 is commodity SRAM: it costs latency, not die area.
+        L2Location::OffChip => 0.0,
+    };
+
+    // Scheduler-entry widths in bits: opcode + operand tags + immediates
+    // for RS entries, full result + bookkeeping for window/LSQ entries.
+    let window_bits = core.window_size as f64 * 240.0;
+    let rs_entries =
+        2 * core.rse_entries + 2 * core.rsf_entries + core.rsa_entries + core.rsbr_entries;
+    let rs_bits = rs_entries as f64 * 120.0;
+    let lsq_bits = (core.load_queue + core.store_queue) as f64 * 160.0;
+    let rename_bits = (core.int_rename_regs + core.fp_rename_regs) as f64 * 80.0;
+    let tlb_bits = 2.0 * mem.tlb_entries as f64 * 70.0;
+
+    CostEstimate {
+        l1i_mm2: cache_bits(&mem.l1i) * L1_BIT_MM2,
+        l1d_mm2: cache_bits(&mem.l1d) * L1_BIT_MM2 * port_factor(core.dcache_ports),
+        l2_mm2,
+        window_mm2: window_bits * CAM_BIT_MM2,
+        rs_mm2: rs_bits * CAM_BIT_MM2,
+        lsq_mm2: lsq_bits * CAM_BIT_MM2,
+        rename_mm2: rename_bits * CAM_BIT_MM2,
+        tlb_mm2: tlb_bits * SRAM_BIT_MM2,
+        fixed_mm2: FIXED_CORE_MM2 + FIXED_CHIP_MM2,
+    }
+}
+
+/// Total modeled area, the form objectives and constraints consume.
+pub fn area_mm2(config: &SystemConfig) -> f64 {
+    estimate(config).total_mm2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn production_config_lands_near_the_real_die() {
+        let a = area_mm2(&SystemConfig::sparc64_v());
+        assert!(
+            (250.0..=330.0).contains(&a),
+            "calibration drifted: {a:.1} mm²"
+        );
+    }
+
+    #[test]
+    fn area_is_monotone_in_capacity_knobs() {
+        let base = SystemConfig::sparc64_v();
+        let a = area_mm2(&base);
+
+        let mut big_l2 = base.clone();
+        big_l2.mem.l2 = CacheGeometry::new(4 * 1024 * 1024, 4, big_l2.mem.l2.latency);
+        assert!(area_mm2(&big_l2) > a, "bigger L2 must cost more");
+
+        let mut big_window = base.clone();
+        big_window.core.window_size *= 2;
+        big_window.core.rse_entries *= 2;
+        assert!(area_mm2(&big_window) > a, "bigger scheduler must cost more");
+    }
+
+    #[test]
+    fn off_chip_l2_frees_die_area() {
+        let base = SystemConfig::sparc64_v();
+        let mut off = base.clone();
+        off.mem.l2_location = L2Location::OffChip;
+        assert!(area_mm2(&off) < area_mm2(&base));
+        assert_eq!(estimate(&off).l2_mm2, 0.0);
+    }
+
+    #[test]
+    fn estimate_is_deterministic() {
+        let c = SystemConfig::sparc64_v();
+        assert_eq!(estimate(&c), estimate(&c));
+        assert_eq!(area_mm2(&c).to_bits(), area_mm2(&c).to_bits());
+    }
+}

@@ -1,0 +1,344 @@
+//! Named configuration knobs: the design-space coordinate system.
+//!
+//! The exploration engine (`s64v-explore`) describes candidate designs as
+//! vectors of `name = value` pairs over a *registry* of knobs, each of
+//! which reads or writes one integer-valued field of [`SystemConfig`].
+//! Keeping the registry here — next to the configuration it mutates —
+//! means every layer (spec parsing, grid expansion, constraint checking,
+//! reports) speaks the same names, and adding a knob is one table row.
+//!
+//! Applying a knob validates the resulting configuration (cache
+//! geometries must keep power-of-two set counts, widths must stay
+//! non-zero) and returns an error instead of panicking, so a sweep over
+//! an arbitrary grid degrades to "candidate infeasible", never a crash.
+
+use crate::system::SystemConfig;
+use s64v_mem::CacheGeometry;
+
+/// Cache line size, used to validate knob-built cache geometries.
+const LINE_BYTES: u64 = 64;
+
+/// One named knob: a description plus typed accessors into
+/// [`SystemConfig`].
+pub struct Knob {
+    /// The spec-grammar name (`rse_entries`, `l2_kb`, ...).
+    pub name: &'static str,
+    /// One-line description for `--list-knobs` style output.
+    pub help: &'static str,
+    get: fn(&SystemConfig) -> u64,
+    set: fn(&mut SystemConfig, u64) -> Result<(), String>,
+}
+
+impl std::fmt::Debug for Knob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Knob").field("name", &self.name).finish()
+    }
+}
+
+/// Replaces a cache geometry, keeping whichever of capacity/ways the knob
+/// does not control, and validating the result the way
+/// [`CacheGeometry::new`] would — but as an `Err`, not a panic.
+fn checked_geometry(capacity_bytes: u64, ways: u32, latency: u32) -> Result<CacheGeometry, String> {
+    if ways == 0 {
+        return Err("cache needs at least one way".into());
+    }
+    let way_bytes = ways as u64 * LINE_BYTES;
+    if capacity_bytes == 0 || !capacity_bytes.is_multiple_of(way_bytes) {
+        return Err(format!(
+            "capacity {capacity_bytes} is not a positive multiple of ways × {LINE_BYTES}"
+        ));
+    }
+    let sets = capacity_bytes / way_bytes;
+    if !sets.is_power_of_two() {
+        return Err(format!("set count {sets} is not a power of two"));
+    }
+    Ok(CacheGeometry::new(capacity_bytes, ways, latency))
+}
+
+fn nonzero_u32(v: u64, what: &str) -> Result<u32, String> {
+    if v == 0 {
+        return Err(format!("{what} must be at least 1"));
+    }
+    u32::try_from(v).map_err(|_| format!("{what} = {v} does not fit u32"))
+}
+
+macro_rules! u32_knob {
+    ($name:literal, $help:literal, $($field:ident).+) => {
+        Knob {
+            name: $name,
+            help: $help,
+            get: |c| c.$($field).+ as u64,
+            set: |c, v| {
+                c.$($field).+ = nonzero_u32(v, $name)?;
+                Ok(())
+            },
+        }
+    };
+}
+
+macro_rules! bool_knob {
+    ($name:literal, $help:literal, $($field:ident).+) => {
+        Knob {
+            name: $name,
+            help: $help,
+            get: |c| c.$($field).+ as u64,
+            set: |c, v| match v {
+                0 | 1 => {
+                    c.$($field).+ = v == 1;
+                    Ok(())
+                }
+                _ => Err(format!("{} takes 0 or 1, got {v}", $name)),
+            },
+        }
+    };
+}
+
+/// The knob registry. Order is the canonical (documented, report) order.
+pub static KNOBS: &[Knob] = &[
+    // --- core pipeline ---
+    u32_knob!(
+        "issue_width",
+        "decode/issue width per cycle",
+        core.issue_width
+    ),
+    u32_knob!(
+        "fetch_width",
+        "instructions fetched per cycle",
+        core.fetch_width
+    ),
+    u32_knob!("fetch_queue", "fetch-queue entries", core.fetch_queue),
+    u32_knob!(
+        "window_size",
+        "instruction window (ROB) entries",
+        core.window_size
+    ),
+    u32_knob!(
+        "int_rename_regs",
+        "integer renaming registers",
+        core.int_rename_regs
+    ),
+    u32_knob!(
+        "fp_rename_regs",
+        "floating-point renaming registers",
+        core.fp_rename_regs
+    ),
+    u32_knob!(
+        "rse_entries",
+        "entries per RSE (integer) buffer",
+        core.rse_entries
+    ),
+    u32_knob!(
+        "rsf_entries",
+        "entries per RSF (float) buffer",
+        core.rsf_entries
+    ),
+    u32_knob!(
+        "rsa_entries",
+        "RSA (address-generation) entries",
+        core.rsa_entries
+    ),
+    u32_knob!("rsbr_entries", "RSBR (branch) entries", core.rsbr_entries),
+    u32_knob!("load_queue", "load-queue entries", core.load_queue),
+    u32_knob!("store_queue", "store-queue entries", core.store_queue),
+    u32_knob!("commit_width", "commit width per cycle", core.commit_width),
+    u32_knob!("dcache_ports", "L1 operand-cache ports", core.dcache_ports),
+    // --- memory system ---
+    Knob {
+        name: "l1i_kb",
+        help: "L1 instruction-cache capacity in KB",
+        get: |c| c.mem.l1i.capacity_bytes / 1024,
+        set: |c, v| {
+            c.mem.l1i = checked_geometry(v * 1024, c.mem.l1i.ways, c.mem.l1i.latency)?;
+            Ok(())
+        },
+    },
+    Knob {
+        name: "l1d_kb",
+        help: "L1 operand-cache capacity in KB",
+        get: |c| c.mem.l1d.capacity_bytes / 1024,
+        set: |c, v| {
+            c.mem.l1d = checked_geometry(v * 1024, c.mem.l1d.ways, c.mem.l1d.latency)?;
+            Ok(())
+        },
+    },
+    Knob {
+        name: "l1d_ways",
+        help: "L1 operand-cache associativity",
+        get: |c| c.mem.l1d.ways as u64,
+        set: |c, v| {
+            let ways = nonzero_u32(v, "l1d_ways")?;
+            c.mem.l1d = checked_geometry(c.mem.l1d.capacity_bytes, ways, c.mem.l1d.latency)?;
+            Ok(())
+        },
+    },
+    Knob {
+        name: "l2_kb",
+        help: "L2 capacity in KB",
+        get: |c| c.mem.l2.capacity_bytes / 1024,
+        set: |c, v| {
+            c.mem.l2 = checked_geometry(v * 1024, c.mem.l2.ways, c.mem.l2.latency)?;
+            Ok(())
+        },
+    },
+    Knob {
+        name: "l2_ways",
+        help: "L2 associativity",
+        get: |c| c.mem.l2.ways as u64,
+        set: |c, v| {
+            let ways = nonzero_u32(v, "l2_ways")?;
+            c.mem.l2 = checked_geometry(c.mem.l2.capacity_bytes, ways, c.mem.l2.latency)?;
+            Ok(())
+        },
+    },
+    Knob {
+        name: "l2_latency",
+        help: "L2 access latency in cycles",
+        get: |c| c.mem.l2.latency as u64,
+        set: |c, v| {
+            c.mem.l2 = checked_geometry(
+                c.mem.l2.capacity_bytes,
+                c.mem.l2.ways,
+                nonzero_u32(v, "l2_latency")?,
+            )?;
+            Ok(())
+        },
+    },
+    u32_knob!("l1_mshrs", "outstanding L1 misses per cache", mem.l1_mshrs),
+    u32_knob!("l2_mshrs", "outstanding L2 misses", mem.l2_mshrs),
+    bool_knob!(
+        "prefetch",
+        "hardware L2 prefetching (0/1)",
+        mem.prefetch_enabled
+    ),
+    u32_knob!(
+        "prefetch_degree",
+        "lines ahead the prefetcher requests",
+        mem.prefetch_degree
+    ),
+    u32_knob!(
+        "dram_latency",
+        "memory row-access latency in cycles",
+        mem.dram_latency
+    ),
+    u32_knob!(
+        "bus_line_cycles",
+        "bus occupancy per line transfer",
+        mem.bus_line_cycles
+    ),
+    u32_knob!(
+        "bus_cmd_cycles",
+        "bus occupancy per address-only transaction",
+        mem.bus_cmd_cycles
+    ),
+    u32_knob!(
+        "bus_outstanding",
+        "outstanding bus transactions system-wide",
+        mem.bus_outstanding
+    ),
+    u32_knob!(
+        "snoop_latency",
+        "extra snoop latency on coherent misses",
+        mem.snoop_latency
+    ),
+    // --- system ---
+    Knob {
+        name: "cpus",
+        help: "CPU count (SMP work units)",
+        get: |c| c.cpus as u64,
+        set: |c, v| {
+            if v == 0 {
+                return Err("cpus must be at least 1".into());
+            }
+            c.cpus = v as usize;
+            Ok(())
+        },
+    },
+];
+
+/// Looks a knob up by name.
+pub fn knob(name: &str) -> Option<&'static Knob> {
+    KNOBS.iter().find(|k| k.name == name)
+}
+
+/// All knob names in canonical order.
+pub fn knob_names() -> Vec<&'static str> {
+    KNOBS.iter().map(|k| k.name).collect()
+}
+
+/// Reads a knob's current value from a configuration.
+pub fn knob_value(config: &SystemConfig, name: &str) -> Option<u64> {
+    knob(name).map(|k| (k.get)(config))
+}
+
+/// Applies `name = value` to a configuration, validating the result.
+pub fn apply_knob(config: &mut SystemConfig, name: &str, value: u64) -> Result<(), String> {
+    let k = knob(name).ok_or_else(|| format!("unknown knob: {name}"))?;
+    (k.set)(config, value)
+}
+
+/// Applies a whole knob vector in order (first error wins, with the
+/// config left partially modified — callers apply onto a scratch clone).
+pub fn apply_knobs(config: &mut SystemConfig, vector: &[(String, u64)]) -> Result<(), String> {
+    for (name, value) in vector {
+        apply_knob(config, name, *value).map_err(|e| format!("{name}={value}: {e}"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let names = knob_names();
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+        for n in names {
+            assert!(knob(n).is_some());
+        }
+        assert!(knob("no_such_knob").is_none());
+    }
+
+    #[test]
+    fn every_knob_round_trips_its_own_read() {
+        // Reading a knob and writing the same value back must be an
+        // identity on the production configuration.
+        let base = SystemConfig::sparc64_v();
+        for k in KNOBS {
+            let mut c = base.clone();
+            let v = knob_value(&c, k.name).expect("readable");
+            apply_knob(&mut c, k.name, v).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            assert_eq!(c, base, "{} must round-trip", k.name);
+        }
+    }
+
+    #[test]
+    fn knobs_mutate_the_intended_field() {
+        let mut c = SystemConfig::sparc64_v();
+        apply_knob(&mut c, "rse_entries", 12).expect("apply");
+        assert_eq!(c.core.rse_entries, 12);
+        apply_knob(&mut c, "l2_kb", 1024).expect("apply");
+        assert_eq!(c.mem.l2.capacity_bytes, 1024 * 1024);
+        assert_eq!(c.mem.l2.ways, 4, "ways preserved");
+        apply_knob(&mut c, "prefetch", 0).expect("apply");
+        assert!(!c.mem.prefetch_enabled);
+    }
+
+    #[test]
+    fn invalid_values_error_instead_of_panicking() {
+        let mut c = SystemConfig::sparc64_v();
+        assert!(apply_knob(&mut c, "issue_width", 0).is_err());
+        assert!(apply_knob(&mut c, "prefetch", 2).is_err());
+        // 96 KB over 2 ways = 768 sets: not a power of two.
+        assert!(apply_knob(&mut c, "l2_kb", 96).is_err());
+        assert!(apply_knob(&mut c, "bogus", 1).is_err());
+        // The valid prefix of a vector application reports which pair failed.
+        let err = apply_knobs(
+            &mut c.clone(),
+            &[("rse_entries".into(), 8), ("l2_kb".into(), 96)],
+        )
+        .unwrap_err();
+        assert!(err.contains("l2_kb=96"), "got: {err}");
+    }
+}

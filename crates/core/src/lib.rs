@@ -23,15 +23,20 @@
 //!   metrics and instruction timelines (see `s64v-observe`),
 //! * [`integrity`] — structured [`SimError`]s and the checked-mode
 //!   invariant auditor,
+//! * [`knobs`] — the named-parameter registry design-space exploration
+//!   steers through, and [`cost`] — the first-order die-area model that
+//!   prices each configuration,
 //! * [`faultinject`] — deterministic fault injection proving the auditor
 //!   catches every corruption class it claims to.
 
 pub mod accuracy;
 pub mod breakdown;
+pub mod cost;
 pub mod experiment;
 pub mod faultinject;
 pub mod fingerprint;
 pub mod integrity;
+pub mod knobs;
 pub mod model;
 pub mod observe;
 pub mod reference;
@@ -42,6 +47,7 @@ pub mod system;
 pub mod versions;
 
 pub use breakdown::{characterize, characterize_warm, Breakdown};
+pub use cost::{area_mm2, CostEstimate};
 pub use experiment::{
     program_seed, run_suite, run_suite_warm, run_tpcc_smp, run_tpcc_smp_warm, ProgramResult,
     SuiteResult,
@@ -49,6 +55,7 @@ pub use experiment::{
 pub use faultinject::{FaultClass, FaultPlan};
 pub use fingerprint::{config_fingerprint, Fingerprint, StableHasher, MODEL_FINGERPRINT_VERSION};
 pub use integrity::{Auditor, Component, SimError};
+pub use knobs::{apply_knob, apply_knobs, knob_names, knob_value, Knob, KNOBS};
 pub use model::{PerformanceModel, RunOptions};
 pub use observe::{ObserveConfig, Observer};
 pub use reference::{compare, ModelCheck, ReferenceMachine};

@@ -1,0 +1,116 @@
+//! Grid expansion: spec knob axes → concrete candidate configurations.
+//!
+//! Candidates are numbered row-major over the spec's axes (first axis
+//! slowest), so candidate ids are stable across runs of the same spec —
+//! they appear in reports and seed the rank tie-breaker. Each candidate
+//! applies its knob vector to the production [`SystemConfig`] baseline;
+//! vectors the registry rejects (a non-power-of-two set count, a zero
+//! width) become *invalid* candidates that the search counts and skips
+//! instead of crashing the sweep.
+
+use crate::spec::ExploreSpec;
+use s64v_core::{apply_knobs, area_mm2, SystemConfig};
+
+/// One grid point: a knob vector and the configuration it builds.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Row-major index into the grid (stable across runs).
+    pub id: usize,
+    /// The knob vector, in spec axis order.
+    pub knobs: Vec<(String, u64)>,
+    /// The built configuration plus its modeled die area, or the
+    /// registry's rejection reason.
+    pub built: Result<(SystemConfig, f64), String>,
+}
+
+impl Candidate {
+    /// A compact `knob=value` label for reports and progress lines.
+    pub fn label(&self) -> String {
+        self.knobs
+            .iter()
+            .map(|(n, v)| format!("{n}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Expands the spec's axes into the full candidate grid, row-major with
+/// the first axis slowest. The grid size is the product of axis lengths;
+/// the spec parser guarantees every axis is non-empty.
+pub fn expand(spec: &ExploreSpec) -> Vec<Candidate> {
+    let total: usize = spec.knobs.iter().map(|a| a.values.len()).product();
+    let mut out = Vec::with_capacity(total);
+    for id in 0..total {
+        let mut rem = id;
+        let mut indices = vec![0usize; spec.knobs.len()];
+        for (slot, axis) in spec.knobs.iter().enumerate().rev() {
+            indices[slot] = rem % axis.values.len();
+            rem /= axis.values.len();
+        }
+        let knobs: Vec<(String, u64)> = spec
+            .knobs
+            .iter()
+            .zip(&indices)
+            .map(|(axis, &i)| (axis.name.clone(), axis.values[i]))
+            .collect();
+        let mut config = SystemConfig::sparc64_v();
+        let built = apply_knobs(&mut config, &knobs).map(|()| {
+            let area = area_mm2(&config);
+            (config, area)
+        });
+        out.push(Candidate { id, knobs, built });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::tests_support::sample_spec;
+
+    #[test]
+    fn expansion_is_row_major_and_complete() {
+        let spec = sample_spec();
+        let grid = expand(&spec);
+        assert_eq!(grid.len(), 3 * 4);
+        // First axis (rse_entries) slowest: ids 0..4 share rse=4.
+        assert_eq!(
+            grid[0].knobs,
+            vec![("rse_entries".into(), 4), ("window_size".into(), 16)]
+        );
+        assert_eq!(grid[1].knobs[1].1, 32);
+        assert_eq!(
+            grid[4].knobs,
+            vec![("rse_entries".into(), 8), ("window_size".into(), 16)]
+        );
+        assert_eq!(
+            grid[11].knobs,
+            vec![("rse_entries".into(), 12), ("window_size".into(), 64)]
+        );
+        for (i, c) in grid.iter().enumerate() {
+            assert_eq!(c.id, i);
+            let (config, area) = c.built.as_ref().expect("all sample points valid");
+            assert_eq!(config.core.rse_entries as u64, c.knobs[0].1);
+            assert_eq!(config.core.window_size as u64, c.knobs[1].1);
+            assert!(*area > 100.0 && *area < 1000.0, "area {area}");
+        }
+    }
+
+    #[test]
+    fn invalid_vectors_become_invalid_candidates_not_panics() {
+        let mut spec = sample_spec();
+        spec.knobs[0].name = "l2_kb".into();
+        spec.knobs[0].values = vec![2048, 96]; // 96 KB → non-power-of-two sets
+        let grid = expand(&spec);
+        assert_eq!(grid.len(), 2 * 4);
+        assert!(grid[0].built.is_ok());
+        let err = grid[4].built.as_ref().unwrap_err();
+        assert!(err.contains("l2_kb"), "{err}");
+    }
+
+    #[test]
+    fn labels_read_as_knob_vectors() {
+        let grid = expand(&sample_spec());
+        assert_eq!(grid[0].label(), "rse_entries=4 window_size=16");
+    }
+}

@@ -1,0 +1,49 @@
+//! `s64v-explore` — design-space exploration over the performance model.
+//!
+//! The paper's whole methodology is a design loop: sweep
+//! microarchitectural parameters through the cycle-accurate model and
+//! pick the configuration that wins for enterprise-server workloads.
+//! This crate turns that loop into a *query engine*. A declarative
+//! [`ExploreSpec`] names a grid of [knob](s64v_core::knobs) values, an
+//! objective ("maximize IPC") and constraints ("area ≤ 300 mm², RS ≤
+//! 32 entries"); [`run_search`] answers it with adaptive search:
+//!
+//! * **Static pruning** — candidates whose knob vector is invalid or
+//!   violates knob/area constraints are rejected before any simulation.
+//! * **Successive halving** — every feasible candidate is screened on a
+//!   short trace; only the top `1/eta` (plus candidates whose screening
+//!   score is [statistically indistinguishable](s64v_stats::confidence)
+//!   from the cut) are promoted to longer runs, geometrically, until the
+//!   survivors run at full length.
+//! * **Dominated-candidate termination** — candidates Pareto-dominated
+//!   by a promoted design on (objective, area, bus traffic) are counted
+//!   as dominated kills, separating "lost on rank" from "strictly worse
+//!   everywhere".
+//! * **Pareto-frontier extraction** — the answer carries the
+//!   non-dominated set over (IPC, modeled area, bus traffic), not just
+//!   the argmax, so one query characterizes the trade-off surface.
+//!
+//! The crate is deliberately *pure*: simulation is injected as a closure
+//! (the campaign engine in `s64v-harness` supplies it, with its
+//! work-stealing pool and content-addressed cache), and every decision —
+//! grid order, ranking, tie-breaking, promotion — is a deterministic
+//! function of the spec, seeded tie-breaks included. Equal specs
+//! therefore produce byte-identical [reports](report::ExploreReport)
+//! regardless of thread count or cache state.
+
+pub mod grid;
+pub mod pareto;
+pub mod report;
+pub mod search;
+pub mod spec;
+
+pub use grid::{expand, Candidate};
+pub use pareto::{dominates, pareto_frontier, ParetoPoint};
+pub use report::{ExecutionStats, ExploreReport, REPORT_FORMAT};
+pub use search::{
+    run_search, CandidateResult, ExploreEvent, Measurement, RoundPlan, RoundSummary,
+    SearchCounters, SearchResult,
+};
+pub use spec::{
+    Bound, Constraint, ExploreSpec, KnobAxis, Lengths, Metric, Objective, WorkloadSpec,
+};

@@ -1,0 +1,106 @@
+//! Pareto dominance and frontier extraction.
+//!
+//! The frontier is computed over fixed axes chosen to match the paper's
+//! trade-off space: **IPC** (maximize), **modeled die area in mm²**
+//! (minimize) and **bus transactions per kilo-instruction** (minimize).
+//! A query's answer carries this non-dominated set alongside the
+//! objective winner, so one sweep characterizes the whole surface
+//! instead of a single argmax.
+//!
+//! All comparisons use [`f64::total_cmp`]-compatible logic on finite
+//! values; callers feed measured points only, never NaNs.
+
+/// One point in the trade-off space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// Candidate id the point belongs to.
+    pub id: usize,
+    /// Instructions per cycle — maximized.
+    pub ipc: f64,
+    /// Modeled die area — minimized.
+    pub area_mm2: f64,
+    /// Bus transactions per kilo-instruction — minimized.
+    pub bus_per_ki: f64,
+}
+
+/// Whether `a` dominates `b`: at least as good on every axis and
+/// strictly better on at least one.
+pub fn dominates(a: &ParetoPoint, b: &ParetoPoint) -> bool {
+    let ge = a.ipc >= b.ipc && a.area_mm2 <= b.area_mm2 && a.bus_per_ki <= b.bus_per_ki;
+    let gt = a.ipc > b.ipc || a.area_mm2 < b.area_mm2 || a.bus_per_ki < b.bus_per_ki;
+    ge && gt
+}
+
+/// Extracts the non-dominated subset, ordered by descending IPC (ties by
+/// ascending area, then ascending id — fully deterministic). Duplicate
+/// coordinates all survive: none strictly improves on the other.
+pub fn pareto_frontier(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
+    let mut frontier: Vec<ParetoPoint> = points
+        .iter()
+        .filter(|p| !points.iter().any(|q| dominates(q, p)))
+        .copied()
+        .collect();
+    frontier.sort_by(|a, b| {
+        b.ipc
+            .total_cmp(&a.ipc)
+            .then(a.area_mm2.total_cmp(&b.area_mm2))
+            .then(a.id.cmp(&b.id))
+    });
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(id: usize, ipc: f64, area: f64, bus: f64) -> ParetoPoint {
+        ParetoPoint {
+            id,
+            ipc,
+            area_mm2: area,
+            bus_per_ki: bus,
+        }
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement_somewhere() {
+        let a = p(0, 1.0, 200.0, 10.0);
+        assert!(!dominates(&a, &a), "a point never dominates itself");
+        assert!(dominates(&p(1, 1.1, 200.0, 10.0), &a));
+        assert!(dominates(&p(2, 1.0, 190.0, 10.0), &a));
+        assert!(
+            !dominates(&p(3, 1.2, 210.0, 10.0), &a),
+            "trades IPC for area"
+        );
+        assert!(!dominates(&a, &p(3, 1.2, 210.0, 10.0)));
+    }
+
+    #[test]
+    fn frontier_drops_dominated_and_sorts_by_ipc() {
+        let pts = [
+            p(0, 0.8, 230.0, 12.0),
+            p(1, 1.0, 280.0, 12.0),
+            p(2, 0.9, 240.0, 12.0),
+            p(3, 0.7, 300.0, 20.0), // dominated by everything cheaper & faster
+        ];
+        let f = pareto_frontier(&pts);
+        let ids: Vec<usize> = f.iter().map(|q| q.id).collect();
+        assert_eq!(ids, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn duplicate_points_all_survive_in_id_order() {
+        let pts = [p(5, 1.0, 200.0, 9.0), p(2, 1.0, 200.0, 9.0)];
+        let ids: Vec<usize> = pareto_frontier(&pts).iter().map(|q| q.id).collect();
+        assert_eq!(ids, vec![2, 5]);
+    }
+
+    #[test]
+    fn single_axis_extremes_always_make_the_frontier() {
+        let pts: Vec<ParetoPoint> = (0..20)
+            .map(|i| p(i, 0.5 + 0.02 * i as f64, 200.0 + 3.0 * i as f64, 10.0))
+            .collect();
+        // Monotone trade-off: every point is non-dominated.
+        assert_eq!(pareto_frontier(&pts).len(), 20);
+    }
+}

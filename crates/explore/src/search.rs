@@ -1,0 +1,607 @@
+//! The adaptive search loop: successive halving with confidence-aware
+//! promotion and dominated-candidate accounting.
+//!
+//! [`run_search`] owns every *decision* — which candidates enter a
+//! round, at what trace length, who is promoted — while the actual
+//! simulation is injected as a closure over [`RoundPlan`]s. That split
+//! keeps this crate free of threads and caches (the harness supplies
+//! both) and makes the whole search a deterministic function of the
+//! spec: ranking sorts with [`f64::total_cmp`] and breaks exact score
+//! ties by modeled area (cheapest first), then by a stable hash of
+//! `(spec.seed, candidate id)` — never by arrival order.
+//!
+//! The schedule: round 0 runs every feasible candidate for
+//! `screen.records`; each later round multiplies the length by `eta`
+//! (capped at `full.records`) and keeps the top `ceil(n/eta)` — plus any
+//! candidate whose objective rate is statistically indistinguishable
+//! from the last seat at `z` sigma, capped at twice the quota so a flat
+//! screening round cannot defeat the halving. Once the survivor set is
+//! down to `min_survivors` (or the length reaches full), the final round
+//! runs at `full.records`/`full.warmup`, dynamic constraints are
+//! enforced, and the winner plus Pareto frontier are extracted.
+
+use crate::grid::{expand, Candidate};
+use crate::pareto::{pareto_frontier, ParetoPoint};
+use crate::spec::{ExploreSpec, Metric};
+use s64v_core::fingerprint::StableHasher;
+use s64v_core::SystemConfig;
+use s64v_stats::Comparison;
+
+/// The simulation outputs one candidate evaluation must report.
+///
+/// `area_mm2` is static (the search fills it from the cost model); the
+/// rest come from the measured run at the round's trace length.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Measurement {
+    /// Simulated cycles in the timed window.
+    pub cycles: u64,
+    /// Instructions committed in the timed window.
+    pub committed: u64,
+    /// System-bus transactions issued.
+    pub bus_transactions: u64,
+    /// Cycles the system bus was busy.
+    pub bus_busy_cycles: u64,
+    /// L1 operand-cache (misses, accesses).
+    pub l1d: (u64, u64),
+    /// Demand L2 (misses, accesses).
+    pub l2_demand: (u64, u64),
+    /// Conditional branches (mispredicted, executed).
+    pub mispredict: (u64, u64),
+    /// Modeled die area of the candidate's configuration.
+    pub area_mm2: f64,
+}
+
+/// One round's worth of work for the evaluation closure.
+#[derive(Debug, Clone)]
+pub struct RoundPlan {
+    /// Round number, starting at 0 (the screening round).
+    pub round: usize,
+    /// Timed records per candidate this round.
+    pub records: usize,
+    /// Warm-up records per candidate this round.
+    pub warmup: usize,
+    /// Whether this is the final, full-length round.
+    pub is_final: bool,
+    /// `(candidate id, configuration)` in ascending-id order.
+    pub entries: Vec<(usize, SystemConfig)>,
+}
+
+/// A candidate's final standing, carried by winner and frontier lists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateResult {
+    /// Grid id.
+    pub id: usize,
+    /// The knob vector, in spec axis order.
+    pub knobs: Vec<(String, u64)>,
+    /// Objective value (the metric itself, not the sign-folded score).
+    pub objective: f64,
+    /// Full measurement at the last length the candidate ran.
+    pub measurement: Measurement,
+    /// Timed records of that measurement.
+    pub records: usize,
+}
+
+/// What happened in one round, for reports and progress streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundSummary {
+    /// Round number.
+    pub round: usize,
+    /// Timed records per candidate.
+    pub records: usize,
+    /// Candidates entering the round.
+    pub entered: usize,
+    /// Candidates promoted to the next round (0 for the final round).
+    pub promoted: usize,
+    /// Eliminations that merely lost on rank.
+    pub eliminated_rank: usize,
+    /// Eliminations Pareto-dominated by a promoted candidate.
+    pub eliminated_dominated: usize,
+    /// Candidates whose evaluation failed this round.
+    pub failed: usize,
+    /// Best candidate id of the round (by sign-folded score).
+    pub best_id: Option<usize>,
+    /// That candidate's objective value.
+    pub best_objective: Option<f64>,
+}
+
+/// Streaming notifications emitted while the search runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExploreEvent {
+    /// The grid was expanded and statically pruned.
+    GridExpanded {
+        /// Total grid size (product of axis lengths).
+        total: usize,
+        /// Knob vectors the registry rejected.
+        invalid: usize,
+        /// Feasible-config candidates removed by static constraints.
+        pruned: usize,
+        /// Candidates entering round 0.
+        feasible: usize,
+    },
+    /// A round is about to be evaluated.
+    RoundStarted {
+        /// Round number.
+        round: usize,
+        /// Timed records per candidate.
+        records: usize,
+        /// Candidates in the round.
+        candidates: usize,
+    },
+    /// A round finished and promotions were decided.
+    RoundFinished(RoundSummary),
+    /// The final frontier was extracted.
+    FrontierExtracted {
+        /// Non-dominated candidate count.
+        size: usize,
+    },
+}
+
+/// Deterministic search accounting (independent of threads and cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchCounters {
+    /// Total grid size.
+    pub grid_size: usize,
+    /// Knob vectors the registry rejected.
+    pub invalid: usize,
+    /// Statically pruned (knob/area constraints) candidates.
+    pub pruned_static: usize,
+    /// Candidates that entered round 0.
+    pub feasible: usize,
+    /// Point evaluations requested across all rounds.
+    pub evaluations: usize,
+    /// Evaluations that failed.
+    pub failed: usize,
+    /// Candidates eliminated purely on rank.
+    pub eliminated_rank: usize,
+    /// Candidates eliminated while Pareto-dominated by a promoted one.
+    pub eliminated_dominated: usize,
+    /// Rounds run (including the final round).
+    pub rounds: usize,
+    /// Full-length evaluations (final-round entries). The headline
+    /// claim "fewer full-length runs than the grid" compares this
+    /// against `grid_size`.
+    pub full_length: usize,
+}
+
+/// The answer to a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// Best full-length candidate satisfying every constraint, if any.
+    pub winner: Option<CandidateResult>,
+    /// Pareto frontier over (IPC, area, bus/KI) of full-length
+    /// candidates, descending IPC.
+    pub frontier: Vec<CandidateResult>,
+    /// Per-round history.
+    pub rounds: Vec<RoundSummary>,
+    /// Search accounting.
+    pub counters: SearchCounters,
+}
+
+/// Stable rank tie-breaker: equal scores order by this hash, then id, so
+/// ranking never depends on float quirks or arrival order.
+fn tie_key(seed: u64, id: usize) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str("explore-tie");
+    h.write_u64(seed);
+    h.write_u64(id as u64);
+    // Fold the 128-bit fingerprint to an orderable key via its hex form.
+    let hex = h.finish().to_hex();
+    u64::from_str_radix(&hex[..16], 16).expect("hex digest")
+}
+
+struct Scored {
+    candidate: Candidate,
+    measurement: Measurement,
+    score: f64,
+}
+
+impl Scored {
+    fn pareto_point(&self) -> ParetoPoint {
+        ParetoPoint {
+            id: self.candidate.id,
+            ipc: Metric::Ipc.value(&self.measurement),
+            area_mm2: self.measurement.area_mm2,
+            bus_per_ki: Metric::BusPerKi.value(&self.measurement),
+        }
+    }
+
+    fn result(&self, spec: &ExploreSpec, records: usize) -> CandidateResult {
+        CandidateResult {
+            id: self.candidate.id,
+            knobs: self.candidate.knobs.clone(),
+            objective: spec.objective.metric.value(&self.measurement),
+            measurement: self.measurement,
+            records,
+        }
+    }
+}
+
+/// Runs the search. `eval` receives each [`RoundPlan`] and must return
+/// one `Option<Measurement>` per entry, in order (`None` = that
+/// candidate's simulation failed). `on_event` observes progress.
+pub fn run_search<E, F>(spec: &ExploreSpec, mut eval: E, mut on_event: F) -> SearchResult
+where
+    E: FnMut(&RoundPlan) -> Vec<Option<Measurement>>,
+    F: FnMut(&ExploreEvent),
+{
+    let grid = expand(spec);
+    let mut counters = SearchCounters {
+        grid_size: grid.len(),
+        ..SearchCounters::default()
+    };
+
+    // Static pruning: invalid knob vectors, then knob/area constraints.
+    let mut alive: Vec<Candidate> = Vec::new();
+    for c in grid {
+        match &c.built {
+            Err(_) => counters.invalid += 1,
+            Ok((_, area)) => {
+                let feasible = spec
+                    .constraints
+                    .iter()
+                    .filter(|k| k.is_static())
+                    .all(|k| k.admits_static(&c.knobs, *area));
+                if feasible {
+                    alive.push(c);
+                } else {
+                    counters.pruned_static += 1;
+                }
+            }
+        }
+    }
+    counters.feasible = alive.len();
+    on_event(&ExploreEvent::GridExpanded {
+        total: counters.grid_size,
+        invalid: counters.invalid,
+        pruned: counters.pruned_static,
+        feasible: counters.feasible,
+    });
+
+    let mut rounds: Vec<RoundSummary> = Vec::new();
+    let mut records = spec.screen.records.min(spec.full.records);
+    let mut round = 0usize;
+    let mut finalists: Vec<Scored> = Vec::new();
+
+    while !alive.is_empty() {
+        let is_final = records >= spec.full.records || alive.len() <= spec.min_survivors;
+        if is_final {
+            records = spec.full.records;
+        }
+        let warmup = if is_final {
+            spec.full.warmup
+        } else {
+            spec.screen.warmup
+        };
+        alive.sort_by_key(|c| c.id);
+        let plan = RoundPlan {
+            round,
+            records,
+            warmup,
+            is_final,
+            entries: alive
+                .iter()
+                .map(|c| (c.id, c.built.as_ref().expect("alive is valid").0.clone()))
+                .collect(),
+        };
+        on_event(&ExploreEvent::RoundStarted {
+            round,
+            records,
+            candidates: plan.entries.len(),
+        });
+
+        let outcomes = eval(&plan);
+        assert_eq!(
+            outcomes.len(),
+            plan.entries.len(),
+            "eval must return one outcome per entry"
+        );
+        counters.evaluations += plan.entries.len();
+        counters.rounds += 1;
+        if is_final {
+            counters.full_length += plan.entries.len();
+        }
+
+        let entered = alive.len();
+        let mut failed = 0usize;
+        let mut scored: Vec<Scored> = Vec::new();
+        for (candidate, outcome) in std::mem::take(&mut alive).into_iter().zip(outcomes) {
+            match outcome {
+                None => failed += 1,
+                Some(mut m) => {
+                    m.area_mm2 = candidate.built.as_ref().expect("alive is valid").1;
+                    let score = spec.objective.score(&m);
+                    scored.push(Scored {
+                        candidate,
+                        measurement: m,
+                        score,
+                    });
+                }
+            }
+        }
+        counters.failed += failed;
+
+        // Rank: score descending; exact score ties prefer the cheaper
+        // configuration (so a saturated sweep hands back the smallest of
+        // the tied best), then the seeded hash, then id.
+        scored.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.measurement.area_mm2.total_cmp(&b.measurement.area_mm2))
+                .then_with(|| {
+                    tie_key(spec.seed, a.candidate.id)
+                        .cmp(&tie_key(spec.seed, b.candidate.id))
+                        .then(a.candidate.id.cmp(&b.candidate.id))
+                })
+        });
+        let best = scored.first();
+        let mut summary = RoundSummary {
+            round,
+            records,
+            entered,
+            promoted: 0,
+            eliminated_rank: 0,
+            eliminated_dominated: 0,
+            failed,
+            best_id: best.map(|s| s.candidate.id),
+            best_objective: best.map(|s| spec.objective.metric.value(&s.measurement)),
+        };
+
+        if is_final {
+            on_event(&ExploreEvent::RoundFinished(summary.clone()));
+            rounds.push(summary);
+            finalists = scored;
+            break;
+        }
+
+        // Promotion: top ceil(n/eta) seats, floored at min_survivors,
+        // plus confidence ties against the last seat, capped at 2×.
+        let n = scored.len();
+        let quota = n.div_ceil(spec.eta as usize).max(spec.min_survivors).min(n);
+        let mut keep = quota;
+        if keep > 0 && keep < n {
+            let seat_rate = spec.objective.metric.rate(&scored[keep - 1].measurement);
+            let cap = (2 * quota).min(n);
+            while keep < cap {
+                let contender = spec.objective.metric.rate(&scored[keep].measurement);
+                let tied = match (&seat_rate, &contender) {
+                    (Some(seat), Some(c)) => {
+                        c.compare(*seat, spec.z) == Comparison::Indistinguishable
+                    }
+                    // A static objective has no sampling noise: no ties.
+                    _ => false,
+                };
+                if !tied {
+                    break;
+                }
+                keep += 1;
+            }
+        }
+
+        let eliminated: Vec<Scored> = scored.split_off(keep);
+        summary.promoted = scored.len();
+        let promoted_points: Vec<ParetoPoint> = scored.iter().map(Scored::pareto_point).collect();
+        for e in &eliminated {
+            let p = e.pareto_point();
+            if promoted_points
+                .iter()
+                .any(|q| crate::pareto::dominates(q, &p))
+            {
+                summary.eliminated_dominated += 1;
+            } else {
+                summary.eliminated_rank += 1;
+            }
+        }
+        counters.eliminated_rank += summary.eliminated_rank;
+        counters.eliminated_dominated += summary.eliminated_dominated;
+        on_event(&ExploreEvent::RoundFinished(summary.clone()));
+        rounds.push(summary);
+
+        alive = scored.into_iter().map(|s| s.candidate).collect();
+        records = records
+            .saturating_mul(spec.eta as usize)
+            .min(spec.full.records);
+        round += 1;
+    }
+
+    // Final standing: dynamic constraints gate the winner; the frontier
+    // characterizes every full-length candidate.
+    let full_records = spec.full.records;
+    let winner = finalists
+        .iter()
+        .find(|s| {
+            spec.constraints
+                .iter()
+                .all(|c| c.admits_measurement(&s.candidate.knobs, &s.measurement))
+        })
+        .map(|s| s.result(spec, full_records));
+
+    let points: Vec<ParetoPoint> = finalists.iter().map(Scored::pareto_point).collect();
+    let frontier_points = pareto_frontier(&points);
+    on_event(&ExploreEvent::FrontierExtracted {
+        size: frontier_points.len(),
+    });
+    let frontier: Vec<CandidateResult> = frontier_points
+        .iter()
+        .map(|p| {
+            finalists
+                .iter()
+                .find(|s| s.candidate.id == p.id)
+                .expect("frontier point came from finalists")
+                .result(spec, full_records)
+        })
+        .collect();
+
+    SearchResult {
+        winner,
+        frontier,
+        rounds,
+        counters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::tests_support::sample_spec;
+    use crate::spec::{Bound, Constraint};
+
+    /// A deterministic synthetic evaluator: IPC grows with window size
+    /// and RS entries (with diminishing returns), bus traffic grows with
+    /// window size. Scaled by `records` so rates stay comparable while
+    /// event counts grow — exactly what a longer trace does.
+    fn synthetic_eval(plan: &RoundPlan) -> Vec<Option<Measurement>> {
+        plan.entries
+            .iter()
+            .map(|(_, config)| {
+                let w = config.core.window_size as u64;
+                let rs = config.core.rse_entries as u64;
+                let committed = plan.records as u64;
+                let cycles = committed * 4000 / (1000 + w * 12 + rs * 40);
+                Some(Measurement {
+                    cycles,
+                    committed,
+                    bus_transactions: committed * (10 + w / 8) / 1000,
+                    bus_busy_cycles: cycles / 10,
+                    l1d: (committed / 25, committed / 3),
+                    l2_demand: (committed / 200, committed / 25),
+                    mispredict: (committed / 50, committed / 8),
+                    area_mm2: 0.0, // filled by the search
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn halving_runs_fewer_full_length_points_than_the_grid() {
+        let spec = sample_spec();
+        let mut plans: Vec<(usize, usize)> = Vec::new();
+        let result = run_search(
+            &spec,
+            |plan| {
+                plans.push((plan.records, plan.entries.len()));
+                synthetic_eval(plan)
+            },
+            |_| {},
+        );
+        assert_eq!(result.counters.grid_size, 12);
+        assert_eq!(result.counters.feasible, 12);
+        assert!(
+            result.counters.full_length < result.counters.grid_size,
+            "full-length {} must beat grid {}",
+            result.counters.full_length,
+            result.counters.grid_size
+        );
+        // Screening covers the whole grid at screen length.
+        assert_eq!(plans[0], (2000, 12));
+        // The last round runs at exactly full length.
+        assert_eq!(plans.last().expect("rounds ran").0, 8000);
+        let w = result.winner.as_ref().expect("feasible winner");
+        // Monotone synthetic model: the biggest feasible design wins.
+        assert_eq!(
+            w.knobs,
+            vec![("rse_entries".into(), 12), ("window_size".into(), 64)]
+        );
+        assert!(!result.frontier.is_empty());
+        assert!(result.frontier.iter().any(|f| f.id == w.id));
+    }
+
+    #[test]
+    fn search_is_a_pure_function_of_the_spec() {
+        let spec = sample_spec();
+        let a = run_search(&spec, synthetic_eval, |_| {});
+        let b = run_search(&spec, synthetic_eval, |_| {});
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dynamic_constraints_gate_the_winner_not_the_frontier() {
+        let mut spec = sample_spec();
+        // The synthetic model's best IPC comes from the largest window,
+        // which also maximizes bus traffic; cap bus traffic to force a
+        // different winner.
+        spec.constraints.push(Constraint {
+            on: Bound::Metric(Metric::BusPerKi),
+            min: None,
+            max: Some(13.0),
+        });
+        let result = run_search(&spec, synthetic_eval, |_| {});
+        if let Some(w) = &result.winner {
+            assert!(Metric::BusPerKi.value(&w.measurement) <= 13.0);
+            assert!(w.knobs[1].1 < 64, "64-entry window exceeds the bus cap");
+        }
+        // The frontier still spans the unconstrained trade-off space.
+        assert!(result
+            .frontier
+            .iter()
+            .any(|f| Metric::BusPerKi.value(&f.measurement) > 13.0));
+    }
+
+    #[test]
+    fn failed_evaluations_are_eliminated_and_counted() {
+        let spec = sample_spec();
+        let result = run_search(
+            &spec,
+            |plan| {
+                synthetic_eval(plan)
+                    .into_iter()
+                    .zip(&plan.entries)
+                    .map(|(m, (id, _))| if *id == 0 { None } else { m })
+                    .collect()
+            },
+            |_| {},
+        );
+        assert!(result.counters.failed >= 1);
+        assert!(result.winner.is_some());
+        assert!(result.frontier.iter().all(|f| f.id != 0));
+    }
+
+    #[test]
+    fn static_pruning_skips_simulation_entirely() {
+        let mut spec = sample_spec();
+        spec.constraints.push(Constraint {
+            on: Bound::Knob("window_size".into()),
+            min: None,
+            max: Some(32.0),
+        });
+        let mut screened = 0usize;
+        let result = run_search(
+            &spec,
+            |plan| {
+                if plan.round == 0 {
+                    screened = plan.entries.len();
+                }
+                synthetic_eval(plan)
+            },
+            |_| {},
+        );
+        assert_eq!(result.counters.pruned_static, 6);
+        assert_eq!(screened, 6, "pruned candidates never reach eval");
+        let w = result.winner.expect("winner");
+        assert!(w.knobs[1].1 <= 32);
+    }
+
+    #[test]
+    fn events_narrate_the_whole_search() {
+        let spec = sample_spec();
+        let mut events: Vec<ExploreEvent> = Vec::new();
+        run_search(&spec, synthetic_eval, |e| events.push(e.clone()));
+        assert!(matches!(
+            events[0],
+            ExploreEvent::GridExpanded { total: 12, .. }
+        ));
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, ExploreEvent::RoundStarted { .. }))
+            .count();
+        let finishes = events
+            .iter()
+            .filter(|e| matches!(e, ExploreEvent::RoundFinished(_)))
+            .count();
+        assert_eq!(starts, finishes);
+        assert!(starts >= 2, "halving needs at least screen + final");
+        assert!(matches!(
+            events.last(),
+            Some(ExploreEvent::FrontierExtracted { .. })
+        ));
+    }
+}

@@ -1,10 +1,15 @@
-//! End-to-end campaign driver: every figure through the engine.
+//! End-to-end campaign driver: every figure through the engine, plus
+//! the design-space exploration modes.
 //!
 //! ```text
 //! campaign [--figures all|name,name,...] [--threads N]
 //!          [--cache-dir DIR] [--no-cache] [--checked]
 //!          [--trace PATTERN]... [--metrics]
 //!          [--check-artifact PATH]... [--quiet] [--list]
+//! campaign explore --spec FILE [--out FILE] [--answer-only] [--fresh]
+//!          [--threads N] [--cache-dir DIR] [--no-cache] [--quiet]
+//! campaign serve [--out DIR] [--answer-only] [--fresh]
+//!          [--threads N] [--cache-dir DIR] [--no-cache] [--quiet]
 //! ```
 //!
 //! Run sizes come from the usual `S64V_*` environment variables;
@@ -21,15 +26,31 @@
 //! `<fingerprint>.pipeline.txt` next to the point's cache entry;
 //! `--metrics` writes `<fingerprint>.metrics.jsonl` interval time series
 //! for every point. `--check-artifact PATH` validates previously written
-//! artifacts (by extension) and exits without running anything.
+//! artifacts (by extension, including `.explore.json` reports) and exits
+//! without running anything.
 //!
-//! Exits nonzero if any point failed to simulate or any figure failed to
-//! render (including a model verification mismatch).
+//! `explore` answers one declarative design-space query (see
+//! `s64v-explore` for the spec grammar): the grid is pruned statically,
+//! screened at short trace length, successively halved up to full
+//! length, and the winner plus Pareto frontier land as a structured
+//! report on stdout (and in the report cache). `serve` is the long-lived
+//! variant: it reads queries from stdin — one per line, either a path to
+//! a spec file or an inline JSON object — streams search events to
+//! stderr, and emits one compact report JSON per query on stdout.
+//!
+//! Exits nonzero if any point failed to simulate, any figure failed to
+//! render (including a model verification mismatch), any journaled
+//! failure from a previous run is still unresolved, or any exploration
+//! query had failed points.
 
+use s64v_explore::{ExploreEvent, ExploreReport, ExploreSpec};
+use s64v_harness::explore::{run_explore, ExploreOpts};
 use s64v_harness::figures::{figure_names, run_figures, EngineOpts};
 use s64v_harness::progress::ProgressEvent;
 use s64v_harness::spec::HarnessOpts;
 use s64v_observe::json::Value;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
 use std::sync::mpsc;
 
 fn usage() -> ! {
@@ -37,13 +58,16 @@ fn usage() -> ! {
         "usage: campaign [--figures all|name,name,...] [--threads N]\n\
          \x20               [--cache-dir DIR] [--no-cache] [--checked]\n\
          \x20               [--trace PATTERN]... [--metrics]\n\
-         \x20               [--check-artifact PATH]... [--quiet] [--list]"
+         \x20               [--check-artifact PATH]... [--quiet] [--list]\n\
+         \x20      campaign explore --spec FILE [--out FILE] [--answer-only]\n\
+         \x20               [--fresh] [--threads N] [--cache-dir DIR] [--no-cache] [--quiet]\n\
+         \x20      campaign serve [--out DIR] [--answer-only] [--fresh]\n\
+         \x20               [--threads N] [--cache-dir DIR] [--no-cache] [--quiet]"
     );
     std::process::exit(2);
 }
 
-/// Validates one observation artifact by extension; returns a reason on
-/// failure.
+/// Validates one artifact by extension; returns a reason on failure.
 fn check_artifact(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
     if path.ends_with(".trace.json") {
@@ -66,19 +90,324 @@ fn check_artifact(path: &str) -> Result<(), String> {
         if text.trim().is_empty() {
             return Err("empty diagram".to_string());
         }
+    } else if path.ends_with(".explore.json") {
+        // Full structural validation: spec, fingerprint, answer and
+        // execution sections must all parse back.
+        ExploreReport::parse(&text)?;
     } else {
         return Err("unknown artifact extension".to_string());
     }
     Ok(())
 }
 
+/// Spawns the shared per-point progress printer.
+fn spawn_printer(quiet: bool) -> (mpsc::Sender<ProgressEvent>, std::thread::JoinHandle<()>) {
+    let (tx, rx) = mpsc::channel::<ProgressEvent>();
+    let printer = std::thread::spawn(move || {
+        let mut done = 0usize;
+        for event in rx {
+            if quiet {
+                continue;
+            }
+            match event {
+                ProgressEvent::Started { .. } => {}
+                ProgressEvent::Finished {
+                    label,
+                    cache_hit,
+                    elapsed,
+                    ..
+                } => {
+                    done += 1;
+                    if cache_hit {
+                        eprintln!("[{done:>4}] cached   {label}");
+                    } else {
+                        eprintln!("[{done:>4}] {:>6.1}s  {label}", elapsed.as_secs_f64());
+                    }
+                }
+                ProgressEvent::Failed { label, error, .. } => {
+                    done += 1;
+                    eprintln!("[{done:>4}] FAILED   {label}: {error}");
+                }
+                ProgressEvent::Heartbeat {
+                    done: d,
+                    total,
+                    in_flight,
+                    elapsed,
+                    eta,
+                } => {
+                    let eta = match eta {
+                        Some(t) => format!("{:.0}s", t.as_secs_f64()),
+                        None => "?".to_string(),
+                    };
+                    eprintln!(
+                        "[heartbeat] {d}/{total} done, {in_flight} in flight, \
+                         {:.0}s elapsed, ETA {eta}",
+                        elapsed.as_secs_f64()
+                    );
+                }
+            }
+        }
+    });
+    (tx, printer)
+}
+
+/// Narrates one search-level event on stderr.
+fn print_explore_event(event: &ExploreEvent) {
+    match event {
+        ExploreEvent::GridExpanded {
+            total,
+            invalid,
+            pruned,
+            feasible,
+        } => eprintln!(
+            "[explore] grid {total}: {invalid} invalid, {pruned} statically pruned, \
+             {feasible} feasible"
+        ),
+        ExploreEvent::RoundStarted {
+            round,
+            records,
+            candidates,
+        } => eprintln!("[explore] round {round}: {candidates} candidates x {records} records"),
+        ExploreEvent::RoundFinished(s) => {
+            let best = match (s.best_id, s.best_objective) {
+                (Some(id), Some(obj)) => format!("best #{id} ({obj:.4})"),
+                _ => "no survivors".to_string(),
+            };
+            eprintln!(
+                "[explore] round {} done: promoted {}, eliminated {} on rank + {} dominated, \
+                 {} failed, {best}",
+                s.round, s.promoted, s.eliminated_rank, s.eliminated_dominated, s.failed
+            );
+        }
+        ExploreEvent::FrontierExtracted { size } => {
+            eprintln!("[explore] frontier-update: {size} non-dominated configurations")
+        }
+    }
+}
+
+/// Shared flags of the `explore`/`serve` modes.
+struct ExploreCli {
+    opts: ExploreOpts,
+    spec_path: Option<String>,
+    out: Option<PathBuf>,
+    answer_only: bool,
+    quiet: bool,
+}
+
+fn parse_explore_cli(args: impl Iterator<Item = String>) -> ExploreCli {
+    let engine = EngineOpts::from_env();
+    let mut cli = ExploreCli {
+        opts: ExploreOpts {
+            threads: engine.threads,
+            cache_dir: engine.cache_dir,
+            fresh: false,
+            heartbeat: Some(std::time::Duration::from_secs(10)),
+        },
+        spec_path: None,
+        out: None,
+        answer_only: false,
+        quiet: false,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--spec" => cli.spec_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--out" => cli.out = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--answer-only" => cli.answer_only = true,
+            "--fresh" => cli.opts.fresh = true,
+            "--threads" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                cli.opts.threads = Some(n.max(1));
+            }
+            "--cache-dir" => {
+                cli.opts.cache_dir = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
+            "--no-cache" => cli.opts.cache_dir = None,
+            "--quiet" => cli.quiet = true,
+            _ => usage(),
+        }
+    }
+    cli
+}
+
+/// Runs one query end to end; returns the report (and prints it).
+fn answer_query(
+    spec: &ExploreSpec,
+    cli: &ExploreCli,
+    compact: bool,
+) -> Result<ExploreReport, String> {
+    let (tx, printer) = spawn_printer(cli.quiet);
+    let quiet = cli.quiet;
+    let outcome = run_explore(spec, &cli.opts, Some(tx), |e| {
+        if !quiet {
+            print_explore_event(e);
+        }
+    });
+    printer.join().expect("progress printer panicked");
+    let report = outcome?;
+
+    let doc = if cli.answer_only {
+        report.answer_value()
+    } else {
+        report.to_value()
+    };
+    if compact {
+        println!("{doc}");
+    } else {
+        println!("{doc:#}");
+    }
+    std::io::stdout().flush().ok();
+
+    if let Some(out) = &cli.out {
+        let text = format!("{:#}\n", report.to_value());
+        let write = |path: &std::path::Path| -> std::io::Result<()> {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
+            std::fs::write(path, &text)
+        };
+        // In serve mode --out names a directory; reports land under the
+        // query's name.
+        let path = if out.is_dir() || compact {
+            out.join(format!("{}.explore.json", spec.name))
+        } else {
+            out.clone()
+        };
+        if let Err(e) = write(&path) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+
+    let cached = if report.execution.report_cached {
+        " [report cache]"
+    } else {
+        ""
+    };
+    eprintln!("explore: {}{cached}", report.summary());
+    Ok(report)
+}
+
+fn explore_main(args: impl Iterator<Item = String>) -> ! {
+    let cli = parse_explore_cli(args);
+    let Some(spec_path) = &cli.spec_path else {
+        eprintln!("explore needs --spec FILE");
+        usage();
+    };
+    let text = std::fs::read_to_string(spec_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {spec_path}: {e}");
+        std::process::exit(2);
+    });
+    let spec = ExploreSpec::parse(&text).unwrap_or_else(|e| {
+        eprintln!("invalid spec {spec_path}: {e}");
+        std::process::exit(2);
+    });
+    match answer_query(&spec, &cli, false) {
+        Ok(report) => {
+            if report.execution.failed > 0 {
+                eprintln!(
+                    "explore FAILED: {} point(s) failed to simulate",
+                    report.execution.failed
+                );
+                std::process::exit(1);
+            }
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("explore error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn serve_main(args: impl Iterator<Item = String>) -> ! {
+    let cli = parse_explore_cli(args);
+    if cli.spec_path.is_some() {
+        eprintln!("serve reads queries from stdin; --spec belongs to explore");
+        usage();
+    }
+    eprintln!(
+        "serve: reading queries from stdin (one per line: a spec-file path, or inline JSON); \
+         ^D to finish"
+    );
+    let stdin = std::io::stdin();
+    let mut answered = 0usize;
+    let mut failed_queries = 0usize;
+    let mut failed_points = 0usize;
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("serve: stdin error: {e}");
+                break;
+            }
+        };
+        let query = line.trim();
+        if query.is_empty() || query.starts_with('#') {
+            continue;
+        }
+        let parsed = if query.starts_with('{') {
+            ExploreSpec::parse(query)
+        } else {
+            std::fs::read_to_string(query)
+                .map_err(|e| format!("cannot read {query}: {e}"))
+                .and_then(|text| ExploreSpec::parse(&text))
+        };
+        let spec = match parsed {
+            Ok(s) => s,
+            Err(e) => {
+                // A malformed query degrades the service, never kills it.
+                eprintln!("serve: bad query: {e}");
+                failed_queries += 1;
+                continue;
+            }
+        };
+        eprintln!("serve: query \"{}\" accepted", spec.name);
+        match answer_query(&spec, &cli, true) {
+            Ok(report) => {
+                answered += 1;
+                failed_points += report.execution.failed;
+            }
+            Err(e) => {
+                eprintln!("serve: query \"{}\" error: {e}", spec.name);
+                failed_queries += 1;
+            }
+        }
+    }
+    eprintln!(
+        "serve: {answered} answered, {failed_queries} rejected, {failed_points} failed point(s)"
+    );
+    std::process::exit(if failed_queries > 0 || failed_points > 0 {
+        1
+    } else {
+        0
+    });
+}
+
 fn main() {
+    let mut raw = std::env::args().skip(1).peekable();
+    match raw.peek().map(String::as_str) {
+        Some("explore") => {
+            raw.next();
+            explore_main(raw);
+        }
+        Some("serve") => {
+            raw.next();
+            serve_main(raw);
+        }
+        _ => {}
+    }
+
     let mut figures_arg = "all".to_string();
     let mut engine = EngineOpts::from_env();
     let mut quiet = false;
     let mut check_paths: Vec<String> = Vec::new();
 
-    let mut args = std::env::args().skip(1);
+    let mut args = raw;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--figures" => figures_arg = args.next().unwrap_or_else(|| usage()),
@@ -147,53 +476,7 @@ fn main() {
     };
 
     let opts = HarnessOpts::from_env();
-    let (tx, rx) = mpsc::channel::<ProgressEvent>();
-    let printer = std::thread::spawn(move || {
-        let mut done = 0usize;
-        for event in rx {
-            if quiet {
-                continue;
-            }
-            match event {
-                ProgressEvent::Started { .. } => {}
-                ProgressEvent::Finished {
-                    label,
-                    cache_hit,
-                    elapsed,
-                    ..
-                } => {
-                    done += 1;
-                    if cache_hit {
-                        eprintln!("[{done:>4}] cached   {label}");
-                    } else {
-                        eprintln!("[{done:>4}] {:>6.1}s  {label}", elapsed.as_secs_f64());
-                    }
-                }
-                ProgressEvent::Failed { label, error, .. } => {
-                    done += 1;
-                    eprintln!("[{done:>4}] FAILED   {label}: {error}");
-                }
-                ProgressEvent::Heartbeat {
-                    done: d,
-                    total,
-                    in_flight,
-                    elapsed,
-                    eta,
-                } => {
-                    let eta = match eta {
-                        Some(t) => format!("{:.0}s", t.as_secs_f64()),
-                        None => "?".to_string(),
-                    };
-                    eprintln!(
-                        "[heartbeat] {d}/{total} done, {in_flight} in flight, \
-                         {:.0}s elapsed, ETA {eta}",
-                        elapsed.as_secs_f64()
-                    );
-                }
-            }
-        }
-    });
-
+    let (tx, printer) = spawn_printer(quiet);
     let outcome = run_figures(&names, &opts, &engine, Some(tx));
     printer.join().expect("progress printer panicked");
 
@@ -227,7 +510,8 @@ fn main() {
     for (name, reason) in &summary.render_failures {
         eprintln!("figure {name} did not render: {reason}");
     }
-    if !summary.all_ok() {
+    if let Some(line) = summary.failure_line() {
+        eprintln!("{line}");
         std::process::exit(1);
     }
 }

@@ -1,0 +1,324 @@
+//! Exploration driver: answers [`ExploreSpec`] queries through the
+//! campaign engine.
+//!
+//! `s64v-explore` owns every search *decision*; this module supplies the
+//! *muscle*: each [`RoundPlan`] becomes one [`CampaignSpec`] over the
+//! work-stealing pool and the content-addressed point cache, so repeated
+//! or overlapping queries (successive-halving rounds re-run survivors at
+//! the screening length of the previous round only when lengths differ;
+//! re-asked questions hit the cache point-for-point) never re-simulate.
+//!
+//! Finished answers are cached too: the report lands at
+//! `<cache_dir>/<spec fingerprint>.explore.json` and a later run of the
+//! byte-identical spec is served from that file without touching the
+//! pool. A corrupted or truncated report degrades exactly like a
+//! corrupted point entry — a warning and a re-run, never a panic — and
+//! `fresh: true` bypasses the *report* cache while still using the
+//! *point* cache (that is what the determinism tests exercise).
+
+use crate::engine::run_campaign;
+use crate::progress::ProgressEvent;
+use crate::spec::{CampaignSpec, PointMetrics, SimPoint, WorkUnit};
+use s64v_explore::{
+    run_search, ExecutionStats, ExploreEvent, ExploreReport, ExploreSpec, Measurement, RoundPlan,
+};
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::Sender;
+use std::time::{Duration, Instant};
+
+/// Execution options for one exploration run.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreOpts {
+    /// Worker threads (`None` = available parallelism).
+    pub threads: Option<usize>,
+    /// Point-cache directory; also hosts the report cache (`None` = no
+    /// caching at all).
+    pub cache_dir: Option<PathBuf>,
+    /// Skip the report cache (the point cache is still used).
+    pub fresh: bool,
+    /// Heartbeat period for round campaigns.
+    pub heartbeat: Option<Duration>,
+}
+
+/// The cached-report file for a spec inside a cache directory.
+pub fn report_path(cache_dir: &Path, spec: &ExploreSpec) -> PathBuf {
+    cache_dir.join(format!("{}.explore.json", spec.fingerprint()))
+}
+
+/// Loads a cached report for `spec`, applying the cache's
+/// corruption-is-a-miss convention: an unreadable, unparsable or
+/// mismatched file warns and returns `None`, and the caller re-runs the
+/// query (the fresh store repairs the entry).
+pub fn load_cached_report(cache_dir: &Path, spec: &ExploreSpec) -> Option<ExploreReport> {
+    let path = report_path(cache_dir, spec);
+    let text = std::fs::read_to_string(&path).ok()?;
+    match ExploreReport::parse(&text) {
+        Ok(report) if report.spec == *spec => Some(report),
+        Ok(_) => {
+            // Fingerprint collision or a hand-edited file: either way the
+            // answer is not this spec's.
+            eprintln!(
+                "warning: cached report {} is for a different spec (re-running)",
+                path.display()
+            );
+            None
+        }
+        Err(reason) => {
+            eprintln!(
+                "warning: corrupted exploration report {} ({reason}); re-running the query",
+                path.display()
+            );
+            None
+        }
+    }
+}
+
+/// Converts cached/simulated point metrics into the search's measurement
+/// (area is static and filled in by the search itself).
+fn measurement_from(m: &PointMetrics) -> Measurement {
+    Measurement {
+        cycles: m.cycles,
+        committed: m.committed,
+        bus_transactions: m.bus_transactions,
+        bus_busy_cycles: m.bus_busy_cycles,
+        l1d: m.l1d,
+        l2_demand: m.l2_demand,
+        mispredict: m.mispredict,
+        area_mm2: 0.0,
+    }
+}
+
+fn round_points(spec: &ExploreSpec, plan: &RoundPlan) -> Vec<SimPoint> {
+    plan.entries
+        .iter()
+        .map(|(_, config)| SimPoint {
+            config: config.clone(),
+            work: WorkUnit::Program {
+                suite: spec.workload.suite,
+                index: spec.workload.index,
+            },
+            records: plan.records,
+            warmup: plan.warmup,
+            seed: spec.seed,
+        })
+        .collect()
+}
+
+/// Answers one query: adaptive search in `s64v-explore`, every round
+/// executed as a campaign over the shared pool and point cache. The
+/// finished report is stored in the report cache (when configured).
+///
+/// `progress` receives the underlying campaigns' per-point events;
+/// `on_event` receives the search-level events (grid, rounds, frontier).
+/// Errors cover I/O and spec problems only — failed *points* are
+/// eliminated candidates, reported in the answer's counters and the
+/// execution section, never an `Err`.
+pub fn run_explore(
+    spec: &ExploreSpec,
+    opts: &ExploreOpts,
+    progress: Option<Sender<ProgressEvent>>,
+    mut on_event: impl FnMut(&ExploreEvent),
+) -> Result<ExploreReport, String> {
+    if !opts.fresh {
+        if let Some(dir) = &opts.cache_dir {
+            if let Some(mut report) = load_cached_report(dir, spec) {
+                report.execution.report_cached = true;
+                return Ok(report);
+            }
+        }
+    }
+
+    let start = Instant::now();
+    let execution = RefCell::new(ExecutionStats::default());
+    let io_error: RefCell<Option<String>> = RefCell::new(None);
+
+    let result = run_search(
+        spec,
+        |plan| {
+            if io_error.borrow().is_some() {
+                // A previous round already failed on I/O; run nothing
+                // more and let the error surface after the search.
+                return vec![None; plan.entries.len()];
+            }
+            let cspec = CampaignSpec {
+                name: format!("{}:round{}", spec.name, plan.round),
+                points: round_points(spec, plan),
+                threads: opts.threads,
+                cache_dir: opts.cache_dir.clone(),
+                checked: false,
+                fault: None,
+                observe: Default::default(),
+                heartbeat: opts.heartbeat,
+            };
+            match run_campaign(&cspec, progress.clone()) {
+                Err(e) => {
+                    *io_error.borrow_mut() = Some(format!("campaign I/O: {e}"));
+                    vec![None; plan.entries.len()]
+                }
+                Ok(outcome) => {
+                    let mut ex = execution.borrow_mut();
+                    ex.cache_hits += outcome.report.cache_hits;
+                    ex.simulated += outcome.report.completed - outcome.report.cache_hits;
+                    ex.failed += outcome.report.failed;
+                    ex.simulated_records += outcome.report.simulated_records;
+                    outcome
+                        .outcomes
+                        .iter()
+                        .map(|o| o.metrics().map(measurement_from))
+                        .collect()
+                }
+            }
+        },
+        &mut on_event,
+    );
+    if let Some(e) = io_error.into_inner() {
+        return Err(e);
+    }
+
+    let mut execution = execution.into_inner();
+    execution.sim_wall_seconds = start.elapsed().as_secs_f64();
+    execution.threads = opts.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    });
+    let report = ExploreReport {
+        spec: spec.clone(),
+        result,
+        execution,
+    };
+
+    if let Some(dir) = &opts.cache_dir {
+        store_report(dir, &report).map_err(|e| format!("storing report: {e}"))?;
+    }
+    Ok(report)
+}
+
+/// Writes a report into the report cache (tmp + rename, like every other
+/// cache write) and returns its path.
+pub fn store_report(cache_dir: &Path, report: &ExploreReport) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(cache_dir)?;
+    let path = report_path(cache_dir, &report.spec);
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, format!("{:#}\n", report.to_value()))?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s64v_workloads::SuiteKind;
+
+    fn tiny_spec(name: &str) -> ExploreSpec {
+        ExploreSpec::parse(&format!(
+            r#"{{
+                "name": "{name}",
+                "workload": {{"suite": "SPECint95", "index": 0}},
+                "seed": 42,
+                "screen": {{"records": 1500, "warmup": 3000}},
+                "full":   {{"records": 4000, "warmup": 8000}},
+                "knobs": [
+                    {{"name": "rse_entries", "values": [6, 10]}},
+                    {{"name": "window_size", "values": [32, 64]}}
+                ],
+                "objective": {{"maximize": "ipc"}}
+            }}"#
+        ))
+        .expect("tiny spec parses")
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("s64v-explore-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn driver_answers_a_real_query() {
+        let spec = tiny_spec("driver-real");
+        assert_eq!(spec.workload.suite, SuiteKind::SpecInt95);
+        let report =
+            run_explore(&spec, &ExploreOpts::default(), None, |_| {}).expect("explore runs");
+        let winner = report.result.winner.as_ref().expect("feasible winner");
+        assert_eq!(winner.records, 4000);
+        assert!(winner.objective > 0.0, "IPC is positive");
+        assert!(winner.measurement.area_mm2 > 100.0, "area model applied");
+        assert_eq!(report.result.counters.grid_size, 4);
+        assert_eq!(report.execution.cache_hits, 0, "no cache configured");
+        assert!(report.execution.simulated > 0);
+    }
+
+    #[test]
+    fn report_cache_serves_and_corruption_reruns() {
+        let dir = scratch("report-cache");
+        let spec = tiny_spec("driver-cache");
+        let opts = ExploreOpts {
+            cache_dir: Some(dir.clone()),
+            ..ExploreOpts::default()
+        };
+        let first = run_explore(&spec, &opts, None, |_| {}).expect("first run");
+        assert!(!first.execution.report_cached);
+        assert!(report_path(&dir, &spec).exists());
+
+        let second = run_explore(&spec, &opts, None, |_| {}).expect("second run");
+        assert!(
+            second.execution.report_cached,
+            "served from the report cache"
+        );
+        assert_eq!(
+            second.answer_value().to_string(),
+            first.answer_value().to_string(),
+            "cached answer is byte-identical"
+        );
+
+        // Truncate the stored report: the next run must warn, re-run and
+        // repair the entry — never panic.
+        let path = report_path(&dir, &spec);
+        let text = std::fs::read_to_string(&path).expect("report readable");
+        std::fs::write(&path, &text[..text.len() / 3]).expect("truncate");
+        let third = run_explore(&spec, &opts, None, |_| {}).expect("re-run after corruption");
+        assert!(!third.execution.report_cached, "corruption is a miss");
+        assert_eq!(
+            third.answer_value().to_string(),
+            first.answer_value().to_string()
+        );
+        let repaired = std::fs::read_to_string(&path).expect("repaired");
+        ExploreReport::parse(&repaired).expect("fresh store repaired the entry");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fresh_runs_reuse_the_point_cache_not_the_report() {
+        let dir = scratch("fresh");
+        let spec = tiny_spec("driver-fresh");
+        let opts = ExploreOpts {
+            cache_dir: Some(dir.clone()),
+            fresh: true,
+            ..ExploreOpts::default()
+        };
+        let first = run_explore(&spec, &opts, None, |_| {}).expect("first run");
+        assert_eq!(first.execution.cache_hits, 0);
+        assert!(first.execution.simulated > 0);
+
+        let second = run_explore(&spec, &opts, None, |_| {}).expect("second run");
+        assert!(
+            !second.execution.report_cached,
+            "fresh skips the report cache"
+        );
+        assert_eq!(
+            second.execution.cache_hits, second.result.counters.evaluations,
+            "every evaluation is a point-cache hit"
+        );
+        assert_eq!(second.execution.simulated, 0);
+        assert_eq!(
+            second.answer_value().to_string(),
+            first.answer_value().to_string(),
+            "cache hits change nothing about the answer"
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

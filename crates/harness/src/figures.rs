@@ -1322,16 +1322,35 @@ pub struct RunSummary {
     pub report: CampaignReport,
     /// This run's simulation failures (point label, panic message).
     pub point_failures: Vec<(String, String)>,
-    /// Failures left in the journal by previous runs.
+    /// Failures left in the journal by previous runs and still
+    /// unresolved (points that succeeded *this* run are filtered out).
     pub prior_failures: Vec<FailedPoint>,
     /// Figures that could not render (name, reason).
     pub render_failures: Vec<(&'static str, String)>,
 }
 
 impl RunSummary {
-    /// Whether every point simulated and every figure rendered.
+    /// Whether every point simulated, every figure rendered, and no
+    /// failure from a previous run is still unresolved. Drives the
+    /// campaign binary's exit code.
     pub fn all_ok(&self) -> bool {
-        self.point_failures.is_empty() && self.render_failures.is_empty()
+        self.point_failures.is_empty()
+            && self.render_failures.is_empty()
+            && self.prior_failures.is_empty()
+    }
+
+    /// One-line failure accounting for the end of the run, or `None`
+    /// when everything passed.
+    pub fn failure_line(&self) -> Option<String> {
+        if self.all_ok() {
+            return None;
+        }
+        Some(format!(
+            "campaign FAILED: {} point(s) failed this run, {} unresolved from previous runs, {} figure(s) did not render",
+            self.point_failures.len(),
+            self.prior_failures.len(),
+            self.render_failures.len(),
+        ))
     }
 }
 
@@ -1400,10 +1419,26 @@ pub fn run_figures(
             (spec.points[i].label(), msg)
         })
         .collect();
+    // A journaled failure counts as unresolved only while no success for
+    // the same point exists: the journal's own later-ok rule covers
+    // previous runs, and this filter covers successes from *this* run
+    // (the prior list was snapshotted before the campaign started).
+    let completed: std::collections::HashSet<Fingerprint> = spec
+        .points
+        .iter()
+        .zip(&outcome.outcomes)
+        .filter(|(_, o)| matches!(o, PointOutcome::Metrics(_)))
+        .map(|(p, _)| p.fingerprint())
+        .collect();
+    let prior_failures = outcome
+        .prior_failures
+        .into_iter()
+        .filter(|f| !completed.contains(&f.fingerprint))
+        .collect();
     Ok(RunSummary {
         report: outcome.report,
         point_failures,
-        prior_failures: outcome.prior_failures,
+        prior_failures,
         render_failures,
     })
 }

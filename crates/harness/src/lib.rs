@@ -25,6 +25,11 @@
 //!   auditor](s64v_core::integrity), which never perturbs results but
 //!   turns silent model-state corruption into first-faulting-cycle
 //!   errors.
+//! * **Design-space exploration** — [`explore`] turns the engine into a
+//!   query answerer: a declarative `s64v-explore` spec (knob grid +
+//!   objective + constraints) runs as successive-halving rounds over the
+//!   same pool and point cache, and the finished report (winner, Pareto
+//!   frontier, search accounting) is itself cached by spec fingerprint.
 //!
 //! The `campaign` binary drives the whole evaluation through this
 //! engine: `cargo run --release -p s64v-harness --bin campaign --
@@ -32,12 +37,14 @@
 
 pub mod cache;
 pub mod engine;
+pub mod explore;
 pub mod figures;
 pub mod journal;
 pub mod progress;
 pub mod spec;
 
 pub use engine::{execute_point, run_campaign, try_execute_point, CampaignOutcome, PointOutcome};
+pub use explore::{load_cached_report, report_path, run_explore, store_report, ExploreOpts};
 pub use figures::{figure, figure_names, run_figures, EngineOpts, FigureDef, RunSummary};
 pub use progress::{CampaignReport, ProgressEvent};
 pub use spec::{CampaignSpec, HarnessOpts, PointMetrics, SimPoint, WorkUnit};

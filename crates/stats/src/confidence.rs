@@ -1,0 +1,131 @@
+//! Confidence-aware comparison of rate estimates from partial runs.
+//!
+//! Successive-halving exploration ranks candidate designs on *short*
+//! screening runs before committing to full-length simulations. A short
+//! run's IPC is an estimate, not a measurement: promoting strictly by
+//! point value would let sampling noise eliminate designs whose true
+//! performance is indistinguishable from the cut line. This module
+//! models that uncertainty.
+//!
+//! Rates here are event counts over an exposure (committed instructions
+//! over cycles, bus transactions over instructions). Treating the event
+//! count as Poisson gives the standard error `sqrt(events) / exposure` —
+//! a deliberately simple model whose only job is to shrink as runs get
+//! longer (∝ 1/√n), so that "too close to call at this length" widens
+//! for short screens and collapses for full runs. Everything is pure
+//! arithmetic on the inputs: equal counts always compare equally.
+
+/// A rate estimated from an event count over an exposure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateEstimate {
+    /// Events observed (e.g. committed instructions).
+    pub events: u64,
+    /// Exposure over which they were observed (e.g. cycles).
+    pub exposure: u64,
+}
+
+/// How two estimates relate at a given confidence level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Comparison {
+    /// The first rate is credibly lower.
+    Less,
+    /// The two are within joint noise — a short run cannot separate them.
+    Indistinguishable,
+    /// The first rate is credibly higher.
+    Greater,
+}
+
+impl RateEstimate {
+    /// Creates an estimate of `events / exposure`.
+    pub fn of(events: u64, exposure: u64) -> Self {
+        RateEstimate { events, exposure }
+    }
+
+    /// The point estimate (`0.0` for zero exposure).
+    pub fn value(self) -> f64 {
+        if self.exposure == 0 {
+            0.0
+        } else {
+            self.events as f64 / self.exposure as f64
+        }
+    }
+
+    /// Poisson standard error `sqrt(events) / exposure`. Zero exposure
+    /// yields an infinite error: such an estimate separates from nothing.
+    pub fn std_err(self) -> f64 {
+        if self.exposure == 0 {
+            f64::INFINITY
+        } else {
+            (self.events as f64).sqrt() / self.exposure as f64
+        }
+    }
+
+    /// Half-width of the `z`-sigma interval around the point estimate.
+    pub fn half_width(self, z: f64) -> f64 {
+        z * self.std_err()
+    }
+
+    /// Compares two estimates at `z` sigma: the difference must exceed
+    /// the combined (root-sum-square) uncertainty to be credible.
+    pub fn compare(self, other: RateEstimate, z: f64) -> Comparison {
+        let margin = z * (self.std_err().powi(2) + other.std_err().powi(2)).sqrt();
+        let delta = self.value() - other.value();
+        if !margin.is_finite() || delta.abs() <= margin {
+            Comparison::Indistinguishable
+        } else if delta < 0.0 {
+            Comparison::Less
+        } else {
+            Comparison::Greater
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_estimate_and_error_shrink_with_exposure() {
+        let short = RateEstimate::of(1_000, 2_000);
+        let long = RateEstimate::of(100_000, 200_000);
+        assert_eq!(short.value(), long.value());
+        assert!(long.std_err() < short.std_err());
+        // 1/sqrt(100) scaling: a 100x longer run is 10x more certain.
+        assert!((short.std_err() / long.std_err() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn close_rates_are_indistinguishable_on_short_runs_only() {
+        // True rates 0.50 vs 0.51 — a 2% gap.
+        let a_short = RateEstimate::of(500, 1_000);
+        let b_short = RateEstimate::of(510, 1_000);
+        assert_eq!(a_short.compare(b_short, 2.0), Comparison::Indistinguishable);
+
+        let a_long = RateEstimate::of(500_000, 1_000_000);
+        let b_long = RateEstimate::of(510_000, 1_000_000);
+        assert_eq!(a_long.compare(b_long, 2.0), Comparison::Less);
+        assert_eq!(b_long.compare(a_long, 2.0), Comparison::Greater);
+    }
+
+    #[test]
+    fn zero_exposure_never_separates() {
+        let empty = RateEstimate::of(0, 0);
+        let real = RateEstimate::of(1_000, 1_000);
+        assert_eq!(empty.value(), 0.0);
+        assert_eq!(empty.compare(real, 2.0), Comparison::Indistinguishable);
+        assert_eq!(real.compare(empty, 2.0), Comparison::Indistinguishable);
+    }
+
+    #[test]
+    fn comparison_is_symmetric_and_self_equal() {
+        let a = RateEstimate::of(123, 456);
+        let b = RateEstimate::of(321, 456);
+        assert_eq!(a.compare(a, 2.0), Comparison::Indistinguishable);
+        match (a.compare(b, 2.0), b.compare(a, 2.0)) {
+            (Comparison::Less, Comparison::Greater)
+            | (Comparison::Greater, Comparison::Less)
+            | (Comparison::Indistinguishable, Comparison::Indistinguishable) => {}
+            pair => panic!("asymmetric comparison: {pair:?}"),
+        }
+    }
+}

@@ -8,6 +8,8 @@
 //! * [`Counter`] — a monotonically increasing event count,
 //! * [`Ratio`] — hits/accesses-style derived ratios,
 //! * [`Histogram`] — bounded integer histograms (queue occupancy, latency),
+//! * [`RateEstimate`] — confidence-aware comparison of rates estimated
+//!   from partial (screening-length) runs,
 //! * [`table::Table`] — plain-text report tables used by the experiment
 //!   harness to print the paper's figures as rows.
 //!
@@ -26,11 +28,13 @@
 //! assert!((hit_ratio.value() - 0.75).abs() < 1e-12);
 //! ```
 
+pub mod confidence;
 pub mod counter;
 pub mod histogram;
 pub mod ratio;
 pub mod table;
 
+pub use confidence::{Comparison, RateEstimate};
 pub use counter::Counter;
 pub use histogram::Histogram;
 pub use ratio::Ratio;

@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# Perf-trajectory snapshot: runs the sim_speed micro-benchmarks plus one
+# end-to-end campaign and writes BENCH_<n>.json at the repository root,
+# so successive PRs leave a uniform, diffable record of simulator
+# throughput (ROADMAP: "regressions are invisible until this exists").
+#
+# Usage: scripts/bench_snapshot.sh <n>   (from the repository root)
+# Example: scripts/bench_snapshot.sh 6   -> BENCH_6.json
+set -eu
+
+n="${1:?usage: scripts/bench_snapshot.sh <snapshot number>}"
+out="BENCH_${n}.json"
+scratch="target/bench-snapshot"
+rm -rf "$scratch"
+mkdir -p "$scratch"
+
+echo "== micro-benchmarks (cargo bench -p s64v-bench --bench sim_speed)"
+cargo bench -p s64v-bench --bench sim_speed | tee "$scratch/bench.txt"
+
+echo "== end-to-end campaign (fig08_issue_width, cold cache, release)"
+S64V_RECORDS=30000 S64V_WARMUP=100000 S64V_SEED=42 \
+S64V_RESULTS_DIR="$scratch/results" \
+cargo run --release -p s64v-harness --bin campaign -- \
+    --figures fig08_issue_width --no-cache --quiet \
+    > /dev/null 2> "$scratch/campaign.txt"
+grep '^campaign:' "$scratch/campaign.txt"
+
+# Assemble the snapshot. The bench lines look like
+#   sim_speed/SPECint95: 12.345 ms/iter, 2430000 elem/s
+# and the campaign epilogue like
+#   campaign: 12 completed (0 from cache), 0 failed, 0.42M records simulated in 1.3s (320K rec/s)
+awk -v n="$n" -v date="$(date -u +%Y-%m-%d)" '
+FILENAME ~ /bench.txt/ && /elem\/s$/ {
+    split($0, halves, ": ")
+    key = halves[1]
+    rate = $(NF - 1)
+    lines[++count] = sprintf("    \"%s\": %s", key, rate)
+}
+FILENAME ~ /campaign.txt/ && /^campaign:/ {
+    if (match($0, /\([0-9]+K rec\/s\)/)) {
+        e2e = substr($0, RSTART + 1, RLENGTH - 9) * 1000
+    }
+}
+END {
+    printf "{\n"
+    printf "  \"snapshot\": %s,\n", n
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"units\": \"simulated records (or generated records) per second, best iteration\",\n"
+    printf "  \"rates\": {\n"
+    for (i = 1; i <= count; i++) printf "%s%s\n", lines[i], (i < count ? "," : "")
+    printf "  },\n"
+    printf "  \"end_to_end\": {\n"
+    printf "    \"figure\": \"fig08_issue_width\",\n"
+    printf "    \"records_per_second\": %s\n", (e2e ? e2e : "null")
+    printf "  }\n"
+    printf "}\n"
+}' "$scratch/bench.txt" "$scratch/campaign.txt" > "$out"
+
+rm -rf "$scratch"
+echo "wrote $out"
+cat "$out"

@@ -47,4 +47,27 @@ done
 cargo run --release -p s64v-harness --bin campaign -- "$@" > /dev/null 2>&1
 rm -rf "$OBS_SCRATCH"
 
+echo "== exploration smoke query (answer must match the committed golden)"
+EXPLORE_SCRATCH=target/ci-explore
+rm -rf "$EXPLORE_SCRATCH"
+mkdir -p "$EXPLORE_SCRATCH"
+# Cold cache first, then a warm re-ask: both answers must be
+# byte-identical to specs/ci_smoke.golden.json — the search is a
+# deterministic function of the spec, and neither the report cache nor
+# the point cache may change a single byte of the answer.
+cargo run --release -p s64v-harness --bin campaign -- \
+    explore --spec specs/ci_smoke.explore.json --answer-only \
+    --cache-dir "$EXPLORE_SCRATCH/cache" --quiet \
+    > "$EXPLORE_SCRATCH/cold.json" 2> /dev/null
+diff specs/ci_smoke.golden.json "$EXPLORE_SCRATCH/cold.json"
+cargo run --release -p s64v-harness --bin campaign -- \
+    explore --spec specs/ci_smoke.explore.json --answer-only \
+    --cache-dir "$EXPLORE_SCRATCH/cache" --quiet \
+    > "$EXPLORE_SCRATCH/warm.json" 2> /dev/null
+diff specs/ci_smoke.golden.json "$EXPLORE_SCRATCH/warm.json"
+# The stored report is a first-class artifact: the validator must accept it.
+cargo run --release -p s64v-harness --bin campaign -- \
+    --check-artifact "$EXPLORE_SCRATCH"/cache/*.explore.json > /dev/null 2>&1
+rm -rf "$EXPLORE_SCRATCH"
+
 echo "ci: all green"
