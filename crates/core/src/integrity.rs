@@ -60,6 +60,11 @@ pub enum Component {
     Inclusion,
     /// The committed-instruction counter moved backwards.
     Commit,
+    /// The run exceeded a supervision budget (simulated-cycle ceiling or
+    /// a wall-clock deadline enforced by an external watchdog). Not a
+    /// model invariant: the harness treats watchdog errors as transient
+    /// and retries them, where every other component fails fast.
+    Watchdog,
 }
 
 impl Component {
@@ -76,6 +81,7 @@ impl Component {
             Component::Coherence => "coherence",
             Component::Inclusion => "inclusion",
             Component::Commit => "commit",
+            Component::Watchdog => "watchdog",
         }
     }
 }
@@ -117,6 +123,27 @@ impl SimError {
             pipeline: Some(Box::new(err.snapshot)),
             memory: Some(Box::new(mem.snapshot())),
         }
+    }
+
+    /// A supervision-budget trip: the run burned past its simulated-cycle
+    /// ceiling or was cancelled by a wall-clock watchdog. Carries no
+    /// snapshots — the model state is healthy, just slow (or hung outside
+    /// the model entirely).
+    pub fn watchdog(cycle: u64, message: impl Into<String>) -> Self {
+        SimError {
+            cycle,
+            core: None,
+            component: Component::Watchdog,
+            message: message.into(),
+            pipeline: None,
+            memory: None,
+        }
+    }
+
+    /// Whether this error is a supervision-budget trip (see
+    /// [`SimError::watchdog`]) rather than a model fault.
+    pub fn is_watchdog(&self) -> bool {
+        self.component == Component::Watchdog
     }
 
     /// Renders the error as a self-contained JSON diagnostic object (the
@@ -168,11 +195,16 @@ impl fmt::Display for SimError {
         if let Some(c) = self.core {
             write!(f, " cpu {c}")?;
         }
-        write!(
-            f,
-            ": {} invariant violated: {}",
-            self.component, self.message
-        )
+        if self.component == Component::Watchdog {
+            // Not an invariant: the model is healthy, the run overran.
+            write!(f, ": watchdog: {}", self.message)
+        } else {
+            write!(
+                f,
+                ": {} invariant violated: {}",
+                self.component, self.message
+            )
+        }
     }
 }
 

@@ -52,11 +52,11 @@ pub use experiment::{
     program_seed, run_suite, run_suite_warm, run_tpcc_smp, run_tpcc_smp_warm, ProgramResult,
     SuiteResult,
 };
-pub use faultinject::{FaultClass, FaultPlan};
+pub use faultinject::{ChaosPlan, FaultClass, FaultPlan, HarnessFaultClass};
 pub use fingerprint::{config_fingerprint, Fingerprint, StableHasher, MODEL_FINGERPRINT_VERSION};
 pub use integrity::{Auditor, Component, SimError};
 pub use knobs::{apply_knob, apply_knobs, knob_names, knob_value, Knob, KNOBS};
-pub use model::{PerformanceModel, RunOptions};
+pub use model::{CycleBudget, PerformanceModel, RunOptions};
 pub use observe::{ObserveConfig, Observer};
 pub use reference::{compare, ModelCheck, ReferenceMachine};
 pub use s64v_observe::RunObservation;

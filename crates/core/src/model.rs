@@ -9,15 +9,71 @@ use s64v_mem::MemorySystem;
 use s64v_observe::RunObservation;
 use s64v_trace::{SliceStream, TraceStream, VecTrace};
 
+/// Cooperative supervision of one run: a simulated-cycle ceiling and an
+/// external cancellation flag, both polled from inside the cycle loop.
+///
+/// The budget is the model-side half of the harness watchdog contract: a
+/// monitor thread that decides a point is overdue cannot safely tear a
+/// simulation down from outside, so instead it sets `cancel` and the loop
+/// exits itself at the next poll with a structured
+/// [`SimError::watchdog`]. Neither field describes the simulated system,
+/// so budgets never enter [`SystemConfig`] or any cache fingerprint — a
+/// run that *finishes* under a budget is byte-identical to an unbudgeted
+/// one.
+#[derive(Debug, Clone, Default)]
+pub struct CycleBudget {
+    /// Abort with a watchdog error once this many cycles have simulated.
+    pub max_cycles: Option<u64>,
+    /// External cancel flag, polled every [`CycleBudget::CANCEL_POLL`]
+    /// cycles (set by the harness when a wall-clock deadline passes).
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+}
+
+impl CycleBudget {
+    /// How many cycles pass between polls of the cancel flag (a power of
+    /// two; the ceiling check is exact every cycle).
+    pub const CANCEL_POLL: u64 = 4096;
+
+    /// Whether the budget can ever trip.
+    pub fn is_active(&self) -> bool {
+        self.max_cycles.is_some() || self.cancel.is_some()
+    }
+
+    /// Checks the budget at cycle `now`; `Err` is a watchdog trip.
+    fn check(&self, now: u64) -> Result<(), SimError> {
+        if let Some(max) = self.max_cycles {
+            if now >= max {
+                return Err(SimError::watchdog(
+                    now,
+                    format!("simulated-cycle budget of {max} cycles exhausted"),
+                ));
+            }
+        }
+        if now.is_multiple_of(Self::CANCEL_POLL) {
+            if let Some(cancel) = &self.cancel {
+                if cancel.load(std::sync::atomic::Ordering::Relaxed) {
+                    return Err(SimError::watchdog(
+                        now,
+                        "cancelled by the wall-clock watchdog (deadline exceeded)",
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Per-run options that do not describe the simulated system (and
 /// therefore never enter [`SystemConfig`] or any cache fingerprint):
-/// checked-mode auditing and fault injection.
-#[derive(Debug, Clone, Copy, Default)]
+/// checked-mode auditing, fault injection, and supervision budgets.
+#[derive(Debug, Clone, Default)]
 pub struct RunOptions {
     /// Run the invariant auditor every cycle (see [`crate::integrity`]).
     pub checked: bool,
     /// Inject a deterministic fault (see [`crate::faultinject`]).
     pub fault: Option<FaultPlan>,
+    /// Cycle ceiling and cancellation flag (see [`CycleBudget`]).
+    pub budget: Option<CycleBudget>,
 }
 
 impl RunOptions {
@@ -25,7 +81,7 @@ impl RunOptions {
     pub fn checked() -> Self {
         RunOptions {
             checked: true,
-            fault: None,
+            ..RunOptions::default()
         }
     }
 
@@ -34,6 +90,15 @@ impl RunOptions {
         RunOptions {
             checked: true,
             fault: Some(fault),
+            ..RunOptions::default()
+        }
+    }
+
+    /// Default options under a supervision budget.
+    pub fn budgeted(budget: CycleBudget) -> Self {
+        RunOptions {
+            budget: Some(budget),
+            ..RunOptions::default()
         }
     }
 }
@@ -50,9 +115,14 @@ fn drive<S: TraceStream>(
 ) -> Result<u64, SimError> {
     let mut auditor = opts.checked.then(|| Auditor::new(cores.len()));
     let mut fault = opts.fault;
+    // Hoisted out of `opts` so an inactive budget costs one branch.
+    let budget = opts.budget.filter(CycleBudget::is_active);
     let mut done: Vec<bool> = vec![false; cores.len()];
     let mut now = 0u64;
     while done.iter().any(|d| !d) {
+        if let Some(b) = &budget {
+            b.check(now)?;
+        }
         if let Some(f) = fault.as_mut() {
             f.apply(now, cores, mem);
         }

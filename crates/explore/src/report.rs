@@ -32,6 +32,9 @@ pub struct ExecutionStats {
     pub simulated: usize,
     /// Point evaluations that failed (simulation error or panic).
     pub failed: usize,
+    /// Point evaluations quarantined after exhausting the harness's
+    /// transient-failure retry budget (a subset of `failed`).
+    pub quarantined: usize,
     /// Records simulated (excludes cache hits).
     pub simulated_records: u64,
     /// Wall-clock seconds spent simulating.
@@ -241,6 +244,7 @@ impl ExploreReport {
                     .field("cache_hits", self.execution.cache_hits)
                     .field("simulated", self.execution.simulated)
                     .field("failed", self.execution.failed)
+                    .field("quarantined", self.execution.quarantined)
                     .field("simulated_records", self.execution.simulated_records)
                     .field("sim_wall_seconds", self.execution.sim_wall_seconds)
                     .field("threads", self.execution.threads)
@@ -298,6 +302,10 @@ impl ExploreReport {
             cache_hits: get_usize(e, "cache_hits", "execution")?,
             simulated: get_usize(e, "simulated", "execution")?,
             failed: get_usize(e, "failed", "execution")?,
+            // Lenient: reports written before the supervision layer have
+            // no quarantine counter; default it to zero instead of
+            // invalidating an otherwise healthy cached answer.
+            quarantined: get_usize(e, "quarantined", "execution").unwrap_or(0),
             simulated_records: get_u64(e, "simulated_records", "execution")?,
             sim_wall_seconds: get_f64(e, "sim_wall_seconds", "execution")?,
             threads: get_usize(e, "threads", "execution")?,
@@ -388,6 +396,7 @@ mod tests {
                 cache_hits: 3,
                 simulated: 17,
                 failed: 0,
+                quarantined: 1,
                 simulated_records: 120_000,
                 sim_wall_seconds: 1.25,
                 threads: 4,

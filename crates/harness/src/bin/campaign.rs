@@ -5,20 +5,38 @@
 //! campaign [--figures all|name,name,...] [--threads N]
 //!          [--cache-dir DIR] [--no-cache] [--checked]
 //!          [--trace PATTERN]... [--metrics]
+//!          [--deadline SECS] [--cycle-budget N] [--retries N]
 //!          [--check-artifact PATH]... [--quiet] [--list]
 //! campaign explore --spec FILE [--out FILE] [--answer-only] [--fresh]
 //!          [--threads N] [--cache-dir DIR] [--no-cache] [--quiet]
 //! campaign serve [--out DIR] [--answer-only] [--fresh]
 //!          [--threads N] [--cache-dir DIR] [--no-cache] [--quiet]
+//! campaign soak [--seed N] [--rate PER_MILLE] [--dir DIR]
+//!          [--threads N] [--quiet]
 //! ```
 //!
 //! Run sizes come from the usual `S64V_*` environment variables;
 //! `--threads`/`--cache-dir`/`--no-cache`/`--checked`/`--trace`/
 //! `--metrics` override `S64V_THREADS`, `S64V_CACHE_DIR`,
-//! `S64V_NO_CACHE`, `S64V_CHECKED`, `S64V_TRACE` and `S64V_METRICS`.
+//! `S64V_NO_CACHE`, `S64V_CHECKED`, `S64V_TRACE` and `S64V_METRICS`;
+//! `--deadline`/`--cycle-budget`/`--retries` override
+//! `S64V_POINT_DEADLINE`, `S64V_CYCLE_BUDGET` and `S64V_POINT_RETRIES`.
 //! `--checked` runs every point under the invariant auditor (identical
 //! results, simulation-integrity errors instead of silent corruption);
 //! failed points leave a JSON diagnostic dump next to their cache entry.
+//!
+//! `soak` is the supervision layer's chaos gate: it runs a small fixed
+//! campaign once undisturbed and twice under a seeded chaos schedule
+//! (torn cache writes, truncated journal appends, injected point hangs,
+//! spurious worker panics) against one cache directory, and exits
+//! nonzero unless the chaos runs' results are byte-identical to the
+//! clean run's, every injected fault is journaled, and every hang/panic
+//! was recovered by retry rather than quarantine.
+//!
+//! `serve` drains gracefully: stdin EOF or SIGINT finishes the in-flight
+//! query (journals and caches are flushed per write), prints a final
+//! `served/rejected/failed/quarantined` summary line, and exits 0 on a
+//! clean drain.
 //!
 //! `--trace PATTERN` (repeatable) simulates every point whose label
 //! contains the pattern with full event tracing and writes
@@ -43,26 +61,38 @@
 //! failure from a previous run is still unresolved, or any exploration
 //! query had failed points.
 
+use s64v_core::{ChaosPlan, SystemConfig};
 use s64v_explore::{ExploreEvent, ExploreReport, ExploreSpec};
+use s64v_harness::engine::{run_campaign, CampaignOutcome, PointOutcome};
 use s64v_harness::explore::{run_explore, ExploreOpts};
 use s64v_harness::figures::{figure_names, run_figures, EngineOpts};
+use s64v_harness::journal::{journal_path, Journal};
 use s64v_harness::progress::ProgressEvent;
-use s64v_harness::spec::HarnessOpts;
+use s64v_harness::spec::{CampaignSpec, HarnessOpts, SimPoint, WorkUnit};
+use s64v_harness::supervise::{unseal_lenient, SupervisePolicy};
 use s64v_observe::json::Value;
+use s64v_workloads::SuiteKind;
 use std::io::{BufRead, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: campaign [--figures all|name,name,...] [--threads N]\n\
          \x20               [--cache-dir DIR] [--no-cache] [--checked]\n\
          \x20               [--trace PATTERN]... [--metrics]\n\
+         \x20               [--deadline SECS] [--cycle-budget N] [--retries N]\n\
          \x20               [--check-artifact PATH]... [--quiet] [--list]\n\
          \x20      campaign explore --spec FILE [--out FILE] [--answer-only]\n\
-         \x20               [--fresh] [--threads N] [--cache-dir DIR] [--no-cache] [--quiet]\n\
+         \x20               [--fresh] [--threads N] [--cache-dir DIR] [--no-cache]\n\
+         \x20               [--deadline SECS] [--cycle-budget N] [--retries N] [--quiet]\n\
          \x20      campaign serve [--out DIR] [--answer-only] [--fresh]\n\
-         \x20               [--threads N] [--cache-dir DIR] [--no-cache] [--quiet]"
+         \x20               [--threads N] [--cache-dir DIR] [--no-cache]\n\
+         \x20               [--deadline SECS] [--cycle-budget N] [--retries N] [--quiet]\n\
+         \x20      campaign soak [--seed N] [--rate PER_MILLE] [--dir DIR]\n\
+         \x20               [--threads N] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -91,9 +121,12 @@ fn check_artifact(path: &str) -> Result<(), String> {
             return Err("empty diagram".to_string());
         }
     } else if path.ends_with(".explore.json") {
-        // Full structural validation: spec, fingerprint, answer and
-        // execution sections must all parse back.
-        ExploreReport::parse(&text)?;
+        // Report-cache copies carry a length+checksum seal; `--out`
+        // copies are plain text. Verify the seal when present, then the
+        // full structure: spec, fingerprint, answer and execution
+        // sections must all parse back.
+        let payload = unseal_lenient(&text)?;
+        ExploreReport::parse(payload)?;
     } else {
         return Err("unknown artifact extension".to_string());
     }
@@ -127,6 +160,18 @@ fn spawn_printer(quiet: bool) -> (mpsc::Sender<ProgressEvent>, std::thread::Join
                 ProgressEvent::Failed { label, error, .. } => {
                     done += 1;
                     eprintln!("[{done:>4}] FAILED   {label}: {error}");
+                }
+                ProgressEvent::Retrying {
+                    label,
+                    attempt,
+                    error,
+                    ..
+                } => {
+                    // A retry is not a completed point; the counter holds.
+                    eprintln!(
+                        "[....] retry    {label} (attempt {} failed: {error})",
+                        attempt + 1
+                    );
                 }
                 ProgressEvent::Heartbeat {
                     done: d,
@@ -202,6 +247,8 @@ fn parse_explore_cli(args: impl Iterator<Item = String>) -> ExploreCli {
             cache_dir: engine.cache_dir,
             fresh: false,
             heartbeat: Some(std::time::Duration::from_secs(10)),
+            supervise: engine.supervise,
+            chaos: None,
         },
         spec_path: None,
         out: None,
@@ -226,6 +273,28 @@ fn parse_explore_cli(args: impl Iterator<Item = String>) -> ExploreCli {
                 cli.opts.cache_dir = Some(args.next().unwrap_or_else(|| usage()).into());
             }
             "--no-cache" => cli.opts.cache_dir = None,
+            "--deadline" => {
+                let secs: f64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|s| *s > 0.0)
+                    .unwrap_or_else(|| usage());
+                cli.opts.supervise.deadline = Some(Duration::from_secs_f64(secs));
+            }
+            "--cycle-budget" => {
+                let cycles: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|c| *c > 0)
+                    .unwrap_or_else(|| usage());
+                cli.opts.supervise.cycle_budget = Some(cycles);
+            }
+            "--retries" => {
+                cli.opts.supervise.retries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--quiet" => cli.quiet = true,
             _ => usage(),
         }
@@ -324,27 +393,74 @@ fn explore_main(args: impl Iterator<Item = String>) -> ! {
     }
 }
 
+/// Set by the SIGINT handler; the serve loop polls it between queries.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn note_sigint(_signum: i32) {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// Routes SIGINT to [`note_sigint`] so an interrupt drains the serve
+/// loop (finish the in-flight query, print the final summary) instead of
+/// killing the process mid-write. Raw `signal(2)` keeps the binary free
+/// of platform crates; a store to an atomic is async-signal-safe.
+#[cfg(unix)]
+fn install_sigint_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, note_sigint as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler() {}
+
 fn serve_main(args: impl Iterator<Item = String>) -> ! {
     let cli = parse_explore_cli(args);
     if cli.spec_path.is_some() {
         eprintln!("serve reads queries from stdin; --spec belongs to explore");
         usage();
     }
+    install_sigint_handler();
     eprintln!(
         "serve: reading queries from stdin (one per line: a spec-file path, or inline JSON); \
-         ^D to finish"
+         ^D or ^C to finish"
     );
-    let stdin = std::io::stdin();
+    // Stdin is read on a helper thread so the serve loop can notice a
+    // SIGINT that arrives while no query is pending; queries themselves
+    // run synchronously here, so an interrupt mid-query finishes that
+    // query (caches and journals flush per write) before draining.
+    let (line_tx, line_rx) = mpsc::channel::<std::io::Result<String>>();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            if line_tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
     let mut answered = 0usize;
     let mut failed_queries = 0usize;
     let mut failed_points = 0usize;
-    for line in stdin.lock().lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(e) => {
+    let mut quarantined = 0usize;
+    let mut clean_drain = true;
+    loop {
+        if INTERRUPTED.load(Ordering::SeqCst) {
+            eprintln!("serve: interrupt — draining");
+            break;
+        }
+        let line = match line_rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(Ok(l)) => l,
+            Ok(Err(e)) => {
                 eprintln!("serve: stdin error: {e}");
+                clean_drain = false;
                 break;
             }
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
         };
         let query = line.trim();
         if query.is_empty() || query.starts_with('#') {
@@ -371,6 +487,7 @@ fn serve_main(args: impl Iterator<Item = String>) -> ! {
             Ok(report) => {
                 answered += 1;
                 failed_points += report.execution.failed;
+                quarantined += report.execution.quarantined;
             }
             Err(e) => {
                 eprintln!("serve: query \"{}\" error: {e}", spec.name);
@@ -379,13 +496,232 @@ fn serve_main(args: impl Iterator<Item = String>) -> ! {
         }
     }
     eprintln!(
-        "serve: {answered} answered, {failed_queries} rejected, {failed_points} failed point(s)"
+        "serve: {answered} answered, {failed_queries} rejected, {failed_points} failed point(s), \
+         {quarantined} quarantined"
     );
-    std::process::exit(if failed_queries > 0 || failed_points > 0 {
+    std::process::exit(if failed_queries > 0 || failed_points > 0 || !clean_drain {
         1
     } else {
         0
     });
+}
+
+/// The soak gate's fixed campaign: small, fast, varied enough that
+/// every harness fault class gets several opportunities to fire.
+fn soak_points() -> Vec<SimPoint> {
+    (0..6)
+        .map(|i| SimPoint {
+            config: SystemConfig::sparc64_v(),
+            work: WorkUnit::Program {
+                suite: SuiteKind::SpecInt95,
+                index: i,
+            },
+            records: 2_000,
+            warmup: 1_000,
+            seed: 0x50AC + i as u64,
+        })
+        .collect()
+}
+
+/// One line per point — fingerprint, label, full metrics — so two runs
+/// compare byte for byte. Any failed or timed-out point is an error:
+/// chaos fires only on first attempts, so retries must always recover.
+fn canonical_results(points: &[SimPoint], outcome: &CampaignOutcome) -> Result<String, String> {
+    let mut text = String::new();
+    for (point, result) in points.iter().zip(&outcome.outcomes) {
+        match result {
+            PointOutcome::Metrics(m) => {
+                text.push_str(&format!(
+                    "{} {} {m:?}\n",
+                    point.fingerprint().to_hex(),
+                    point.label()
+                ));
+            }
+            PointOutcome::Failed { error, .. } | PointOutcome::TimedOut { error, .. } => {
+                return Err(format!("point {} was lost: {error}", point.label()));
+            }
+        }
+    }
+    Ok(text)
+}
+
+fn soak_main(args: impl Iterator<Item = String>) -> ! {
+    let mut seed = 7u64;
+    let mut rate = 400u16;
+    let mut threads: Option<usize> = None;
+    let mut dir: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--rate" => {
+                rate = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--dir" => dir = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--threads" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                threads = Some(n.max(1));
+            }
+            "--quiet" => quiet = true,
+            _ => usage(),
+        }
+    }
+
+    let keep_artifacts = dir.is_some();
+    let base = dir
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("s64v-soak-{}", std::process::id())));
+    let clean_dir = base.join("clean");
+    let chaos_dir = base.join("chaos");
+    for d in [&clean_dir, &chaos_dir] {
+        if d.exists() {
+            std::fs::remove_dir_all(d).unwrap_or_else(|e| {
+                eprintln!("soak: cannot clear {}: {e}", d.display());
+                std::process::exit(2);
+            });
+        }
+    }
+
+    let points = soak_points();
+    let spec_for = |cache: &Path, chaos: Option<ChaosPlan>| {
+        let mut spec = CampaignSpec::new("soak", points.clone())
+            .with_cache_dir(cache)
+            .with_heartbeat(None)
+            .with_supervise(SupervisePolicy::default().with_retries(2));
+        if let Some(plan) = chaos {
+            spec = spec.with_chaos(plan);
+        }
+        if let Some(n) = threads {
+            spec = spec.with_threads(n);
+        }
+        spec
+    };
+    let run = |spec: &CampaignSpec| -> CampaignOutcome {
+        let (tx, printer) = spawn_printer(quiet);
+        let outcome = run_campaign(spec, Some(tx));
+        printer.join().expect("progress printer panicked");
+        outcome.unwrap_or_else(|e| {
+            eprintln!("soak: campaign error: {e}");
+            std::process::exit(2);
+        })
+    };
+
+    eprintln!(
+        "soak: {} points, chaos seed {seed}, rate {rate}/1000, scratch {}",
+        points.len(),
+        base.display()
+    );
+    let clean = run(&spec_for(&clean_dir, None));
+    let plan = ChaosPlan::new(seed, rate);
+    // Pass 1 simulates everything under chaos; pass 2 reuses pass 1's
+    // cache, so it exercises the read-side recovery paths too (torn
+    // entries must degrade to a miss and re-simulate, torn journal tails
+    // must be skipped) while the schedule re-fires identically.
+    let pass1 = run(&spec_for(&chaos_dir, Some(plan)));
+    let pass2 = run(&spec_for(&chaos_dir, Some(plan)));
+
+    let mut bad = 0usize;
+    let clean_text = canonical_results(&points, &clean).unwrap_or_else(|e| {
+        eprintln!("soak FAILED: clean run: {e}");
+        std::process::exit(1);
+    });
+    for (name, outcome) in [("chaos pass 1", &pass1), ("chaos pass 2", &pass2)] {
+        match canonical_results(&points, outcome) {
+            Ok(text) if text == clean_text => {
+                eprintln!("soak: {name}: results byte-identical to the clean run");
+            }
+            Ok(_) => {
+                eprintln!("soak FAILED: {name}: results diverge from the clean run");
+                bad += 1;
+            }
+            Err(e) => {
+                eprintln!("soak FAILED: {name}: {e}");
+                bad += 1;
+            }
+        }
+        for (label, error) in &outcome.report.quarantined {
+            eprintln!(
+                "soak FAILED: {name} quarantined {label} ({error}) — chaos fires only on a \
+                 point's first attempt, so one retry must always recover"
+            );
+            bad += 1;
+        }
+    }
+
+    // Fault visibility: every fired fault must have left evidence — a
+    // `chaos` line naming it, a retry for each hang/panic, a skipped
+    // corrupt line for each torn journal append, and a cache miss (no
+    // more, no fewer) for each torn cache entry on the second pass.
+    let state = Journal::load(&journal_path(&chaos_dir));
+    let count = |class: &str| state.chaos.iter().filter(|(c, _)| c == class).count();
+    let torn = count("torn-write");
+    let truncated = count("truncated-journal");
+    let hangs = count("point-hang");
+    let panics = count("worker-panic");
+    eprintln!(
+        "soak: journal: {} chaos fault(s) recorded ({torn} torn-write, {truncated} \
+         truncated-journal, {hangs} point-hang, {panics} worker-panic), {} retry line(s), \
+         {} corrupt line(s) skipped",
+        state.chaos.len(),
+        state.retries.len(),
+        state.corrupt_lines
+    );
+    if state.chaos.is_empty() {
+        eprintln!("soak FAILED: the chaos schedule fired nothing — raise --rate or vary --seed");
+        bad += 1;
+    }
+    let retries = pass1.report.retries + pass2.report.retries;
+    if retries != hangs + panics {
+        eprintln!(
+            "soak FAILED: {} injected hang(s)/panic(s) but {retries} retries — every one must \
+             be recovered by exactly one retry",
+            hangs + panics
+        );
+        bad += 1;
+    }
+    if truncated > 0 && state.corrupt_lines == 0 {
+        eprintln!("soak FAILED: journal appends were truncated but no corrupt line was skipped");
+        bad += 1;
+    }
+    // TornWrite decisions are per fingerprint, so each torn entry fires
+    // once per simulating pass: pass 2 misses exactly the torn half.
+    let expected_hits = points.len() - torn / 2;
+    if pass2.report.cache_hits != expected_hits {
+        eprintln!(
+            "soak FAILED: pass 2 had {} cache hit(s), expected {expected_hits} ({} torn entries \
+             must miss, the rest must hit)",
+            pass2.report.cache_hits,
+            torn / 2
+        );
+        bad += 1;
+    }
+
+    if bad == 0 {
+        eprintln!(
+            "soak PASSED: 3 runs, {} injected fault(s), all recovered, results byte-identical",
+            state.chaos.len()
+        );
+        if !keep_artifacts {
+            std::fs::remove_dir_all(&base).ok();
+        }
+        std::process::exit(0);
+    }
+    eprintln!(
+        "soak FAILED: {bad} check(s) failed (artifacts kept in {})",
+        base.display()
+    );
+    std::process::exit(1);
 }
 
 fn main() {
@@ -398,6 +734,10 @@ fn main() {
         Some("serve") => {
             raw.next();
             serve_main(raw);
+        }
+        Some("soak") => {
+            raw.next();
+            soak_main(raw);
         }
         _ => {}
     }
@@ -425,6 +765,28 @@ fn main() {
             "--checked" => engine.checked = true,
             "--trace" => engine.trace.push(args.next().unwrap_or_else(|| usage())),
             "--metrics" => engine.metrics = true,
+            "--deadline" => {
+                let secs: f64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|s| *s > 0.0)
+                    .unwrap_or_else(|| usage());
+                engine.supervise.deadline = Some(Duration::from_secs_f64(secs));
+            }
+            "--cycle-budget" => {
+                let cycles: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|c| *c > 0)
+                    .unwrap_or_else(|| usage());
+                engine.supervise.cycle_budget = Some(cycles);
+            }
+            "--retries" => {
+                engine.supervise.retries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--check-artifact" => check_paths.push(args.next().unwrap_or_else(|| usage())),
             "--quiet" => quiet = true,
             "--list" => {

@@ -6,22 +6,32 @@
 //! any file that fails to parse (truncated write, format change) is
 //! treated as a miss and re-simulated, never an error.
 //!
+//! Entries are written crash-safely — temp file, fsync, atomic rename —
+//! and carry a length+checksum footer (see [`crate::supervise::seal`])
+//! verified on every read, so a torn write or an in-place bit flip is
+//! detected as corruption rather than misparsed. Legacy unsealed entries
+//! from pre-supervision caches still load.
+//!
 //! Staleness never needs detection here: the fingerprint covers the
 //! configuration, workload, seed, lengths and model version, so a stale
 //! result is simply a file nobody looks up any more.
 
 use crate::spec::PointMetrics;
+use crate::supervise::{atomic_write, seal, unseal_lenient, ChaosInjector};
 use s64v_core::fingerprint::Fingerprint;
+use s64v_core::HarnessFaultClass;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Format tag written as the first line of every cache file.
 const FORMAT: &str = "s64v-point v1";
 
 /// Handle on a cache directory.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ResultCache {
     dir: PathBuf,
+    chaos: Option<Arc<ChaosInjector>>,
 }
 
 impl ResultCache {
@@ -30,7 +40,18 @@ impl ResultCache {
         std::fs::create_dir_all(dir)?;
         Ok(ResultCache {
             dir: dir.to_path_buf(),
+            chaos: None,
         })
+    }
+
+    /// Arms the seeded chaos injector: a store whose key the schedule
+    /// selects is torn (a truncated prefix lands at the final path, as a
+    /// crash mid-write without the atomic rename would leave). The sealed
+    /// footer makes the damage detectable, so the next load warns,
+    /// misses, and the point re-simulates.
+    pub fn with_chaos(mut self, chaos: Arc<ChaosInjector>) -> Self {
+        self.chaos = Some(chaos);
+        self
     }
 
     /// The file a fingerprint maps to.
@@ -39,14 +60,25 @@ impl ResultCache {
     }
 
     /// Looks a point up; any unreadable or unparsable file is a miss.
-    /// An entry that *exists* but does not parse is corruption (a partial
-    /// write survived a crash, or the bytes were damaged in place), so
-    /// the miss is accompanied by a warning — the point silently
-    /// re-simulates and the next store repairs the entry.
+    /// An entry that *exists* but fails its integrity footer or does not
+    /// parse is corruption (a partial write survived a crash, or the
+    /// bytes were damaged in place), so the miss is accompanied by a
+    /// warning — the point silently re-simulates and the next store
+    /// repairs the entry.
     pub fn load(&self, fp: Fingerprint) -> Option<PointMetrics> {
         let path = self.path_of(fp);
         let text = std::fs::read_to_string(&path).ok()?;
-        let parsed = parse(&text);
+        let payload = match unseal_lenient(&text) {
+            Ok(p) => p,
+            Err(why) => {
+                eprintln!(
+                    "warning: corrupted cache entry {} ({why}; treating as a miss)",
+                    path.display()
+                );
+                return None;
+            }
+        };
+        let parsed = parse(payload);
         if parsed.is_none() {
             eprintln!(
                 "warning: corrupted cache entry {} (treating as a miss)",
@@ -56,12 +88,22 @@ impl ResultCache {
         parsed
     }
 
-    /// Stores a point's metrics. Written via a temporary file and rename
-    /// so a crash mid-write leaves no half-parsable entry.
+    /// Stores a point's metrics, sealed with an integrity footer and
+    /// written crash-safely (temp file + fsync + atomic rename) so a
+    /// crash mid-write leaves no half-parsable entry at the final path.
     pub fn store(&self, fp: Fingerprint, m: &PointMetrics) -> std::io::Result<()> {
-        let tmp = self.dir.join(format!("{fp}.tmp"));
-        std::fs::write(&tmp, encode(m))?;
-        std::fs::rename(&tmp, self.path_of(fp))
+        let sealed = seal(&encode(m));
+        let path = self.path_of(fp);
+        if let Some(chaos) = &self.chaos {
+            if chaos.fire(HarnessFaultClass::TornWrite, &fp.to_hex()) {
+                // Land a truncated prefix at the final path, bypassing the
+                // atomic path — exactly the damage a crash between write
+                // and rename is designed to prevent. The footer check on
+                // the next load turns this into a warning and a miss.
+                return std::fs::write(&path, &sealed.as_bytes()[..sealed.len() * 3 / 5]);
+            }
+        }
+        atomic_write(&path, sealed.as_bytes())
     }
 
     /// The observation-artifact file a fingerprint maps to for a given
@@ -71,8 +113,9 @@ impl ResultCache {
         self.dir.join(format!("{fp}.{ext}"))
     }
 
-    /// Writes an observation artifact (via tmp + rename, like [`store`])
-    /// and returns its path.
+    /// Writes an observation artifact crash-safely (like [`store`], but
+    /// unsealed — these files feed external tools that expect plain
+    /// JSON/text) and returns its path.
     ///
     /// [`store`]: ResultCache::store
     pub fn store_artifact(
@@ -81,10 +124,8 @@ impl ResultCache {
         ext: &str,
         data: &str,
     ) -> std::io::Result<PathBuf> {
-        let tmp = self.dir.join(format!("{fp}.{ext}.tmp"));
-        std::fs::write(&tmp, data)?;
         let path = self.artifact_path(fp, ext);
-        std::fs::rename(&tmp, &path)?;
+        atomic_write(&path, data.as_bytes())?;
         Ok(path)
     }
 
@@ -94,10 +135,11 @@ impl ResultCache {
         self.dir.join(format!("{fp}.fail.json"))
     }
 
-    /// Writes a failed point's JSON diagnostic dump and returns its path.
+    /// Writes a failed point's JSON diagnostic dump crash-safely and
+    /// returns its path.
     pub fn store_failure(&self, fp: Fingerprint, json: &str) -> std::io::Result<PathBuf> {
         let path = self.failure_path_of(fp);
-        std::fs::write(&path, json)?;
+        atomic_write(&path, json.as_bytes())?;
         Ok(path)
     }
 }
@@ -249,6 +291,62 @@ mod tests {
         assert_eq!(cache.load(fp), None, "corruption must read as a miss");
         cache.store(fp, &sample()).expect("restore");
         assert_eq!(cache.load(fp), Some(sample()), "a fresh store repairs it");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn entries_are_sealed_and_legacy_unsealed_entries_still_load() {
+        let dir = std::env::temp_dir().join(format!("s64v-cache-seal-{}", std::process::id()));
+        let cache = ResultCache::open(&dir).expect("create");
+        let fp = {
+            let mut h = s64v_core::StableHasher::new();
+            h.write_str("seal-test");
+            h.finish()
+        };
+        cache.store(fp, &sample()).expect("store");
+        let on_disk = std::fs::read_to_string(cache.path_of(fp)).expect("read");
+        assert!(
+            on_disk.contains(crate::supervise::SEAL_MARKER),
+            "stored entries carry the integrity footer"
+        );
+
+        // Truncation (the classic torn write) now fails the footer check.
+        std::fs::write(cache.path_of(fp), &on_disk[..on_disk.len() / 2]).expect("tear");
+        assert_eq!(cache.load(fp), None, "torn entry must read as a miss");
+
+        // A pre-supervision cache entry (no footer) still loads.
+        std::fs::write(cache.path_of(fp), encode(&sample())).expect("legacy");
+        assert_eq!(cache.load(fp), Some(sample()), "legacy entries still hit");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_write_chaos_is_detected_and_repaired_by_the_next_store() {
+        use crate::supervise::ChaosInjector;
+        use s64v_core::ChaosPlan;
+
+        let dir = std::env::temp_dir().join(format!("s64v-cache-chaos-{}", std::process::id()));
+        let chaos = ChaosInjector::new(Some(ChaosPlan::new(11, 1000)));
+        let torn = ResultCache::open(&dir)
+            .expect("create")
+            .with_chaos(Arc::clone(&chaos));
+        let fp = {
+            let mut h = s64v_core::StableHasher::new();
+            h.write_str("chaos-test");
+            h.finish()
+        };
+        torn.store(fp, &sample()).expect("chaos store");
+        assert_eq!(
+            chaos.fired().len(),
+            1,
+            "rate 1000 per mille must tear every store"
+        );
+        assert_eq!(torn.load(fp), None, "the torn entry is a miss");
+
+        // A clean store (re-simulation under no chaos) repairs the entry.
+        let clean = ResultCache::open(&dir).expect("reopen");
+        clean.store(fp, &sample()).expect("repair");
+        assert_eq!(clean.load(fp), Some(sample()));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

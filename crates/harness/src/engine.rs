@@ -8,26 +8,39 @@
 //! point runs, never *what* it computes.
 //!
 //! Per point, in order: consult the content-addressed cache (hit = no
-//! simulation), else simulate. A structured simulation fault
-//! ([`SimError`]: a wedged pipeline, or an invariant violation in
-//! checked mode) fails the point gracefully — the error is journaled, a
-//! JSON diagnostic dump lands next to the point's cache entry, and the
-//! campaign continues. `catch_unwind` remains as a backstop for contract
-//! panics, so no single point can take the campaign down either way.
+//! simulation), else simulate under the campaign's
+//! [supervision policy](crate::supervise::SupervisePolicy). A *transient*
+//! failure — a worker panic, or a watchdog cancellation (wall-clock
+//! deadline or simulated-cycle budget) — is retried up to the policy's
+//! budget with deterministic backoff, then quarantined; a *deterministic*
+//! simulation fault ([`SimError`]: a wedged pipeline, or an invariant
+//! violation in checked mode) fails the point immediately (re-running a
+//! pure function reproduces the same fault), with the error journaled
+//! and a JSON diagnostic dump next to the point's cache entry. Either
+//! way the campaign continues: no single point can take it down.
+//!
+//! When the spec carries a [`ChaosPlan`](s64v_core::ChaosPlan), the
+//! seeded chaos schedule injects harness faults — point hangs and worker
+//! panics on a point's *first* attempt (so retries always recover), torn
+//! cache writes and truncated journal appends at the storage layer — and
+//! every fired fault is journaled. The `campaign soak` gate asserts a
+//! chaos run's final results are byte-identical to an undisturbed one.
 
 use crate::cache::ResultCache;
 use crate::journal::{journal_path, FailedPoint, Journal};
 use crate::progress::{CampaignReport, ProgressEvent};
 use crate::spec::{CampaignSpec, PointMetrics, SimPoint, WorkUnit};
+use crate::supervise::{CacheLock, ChaosInjector, Watchdog};
 use s64v_core::{
-    compare, ObserveConfig, PerformanceModel, RunObservation, RunOptions, RunResult, SimError,
+    compare, CycleBudget, HarnessFaultClass, ObserveConfig, PerformanceModel, RunObservation,
+    RunOptions, RunResult, SimError,
 };
 use s64v_observe::{perfetto_json, render_pipeline, to_jsonl};
 use s64v_workloads::{smp_traces, suite::tpcc_program, Suite};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -45,6 +58,19 @@ pub enum PointOutcome {
         /// when the failure was a structured [`SimError`] and a cache
         /// directory was configured.
         dump_path: Option<PathBuf>,
+        /// Attempts made (1 = failed on the first try).
+        attempts: u32,
+        /// Whether transient failures exhausted the retry budget (as
+        /// opposed to a deterministic fault failing fast).
+        quarantined: bool,
+    },
+    /// Every attempt was cancelled by the watchdog (wall-clock deadline
+    /// or simulated-cycle budget); the campaign continued without it.
+    TimedOut {
+        /// The last watchdog error.
+        error: String,
+        /// Attempts made before giving up.
+        attempts: u32,
     },
 }
 
@@ -53,7 +79,7 @@ impl PointOutcome {
     pub fn metrics(&self) -> Option<&PointMetrics> {
         match self {
             PointOutcome::Metrics(m) => Some(m),
-            PointOutcome::Failed { .. } => None,
+            PointOutcome::Failed { .. } | PointOutcome::TimedOut { .. } => None,
         }
     }
 }
@@ -77,15 +103,17 @@ impl CampaignOutcome {
     }
 
     /// This run's failures as (point index, error message, dump path).
+    /// Timed-out points are failures too (with no dump).
     pub fn failures(&self) -> Vec<(usize, &str, Option<&Path>)> {
         self.outcomes
             .iter()
             .enumerate()
             .filter_map(|(i, o)| match o {
                 PointOutcome::Metrics(_) => None,
-                PointOutcome::Failed { error, dump_path } => {
-                    Some((i, error.as_str(), dump_path.as_deref()))
-                }
+                PointOutcome::Failed {
+                    error, dump_path, ..
+                } => Some((i, error.as_str(), dump_path.as_deref())),
+                PointOutcome::TimedOut { error, .. } => Some((i, error.as_str(), None)),
             })
             .collect()
     }
@@ -111,14 +139,21 @@ impl StealDeques {
     }
 
     fn pop(&self, me: usize) -> Option<usize> {
-        if let Some(i) = self.queues[me].lock().expect("deque poisoned").pop_front() {
+        // Deque locks are only held across a pop; a poisoned lock means a
+        // worker died between pops, and the queue itself is still intact —
+        // recover it so the surviving workers drain the campaign.
+        if let Some(i) = self.queues[me]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+        {
             return Some(i);
         }
         for offset in 1..self.queues.len() {
             let other = (me + offset) % self.queues.len();
             if let Some(i) = self.queues[other]
                 .lock()
-                .expect("deque poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .pop_back()
             {
                 return Some(i);
@@ -291,18 +326,30 @@ pub fn run_campaign(
     progress: Option<Sender<ProgressEvent>>,
 ) -> std::io::Result<CampaignOutcome> {
     let start = Instant::now();
+    let chaos = ChaosInjector::new(spec.chaos);
+    // One campaign per cache directory: held until this run returns, so a
+    // concurrent campaign against the same results-cache/ waits instead
+    // of interleaving writes with us.
+    let _lock = match &spec.cache_dir {
+        Some(dir) => Some(CacheLock::acquire(dir)?),
+        None => None,
+    };
     let cache = match &spec.cache_dir {
-        Some(dir) => Some(ResultCache::open(dir)?),
+        Some(dir) => Some(ResultCache::open(dir)?.with_chaos(Arc::clone(&chaos))),
         None => None,
     };
     let (journal, prior_failures) = match &spec.cache_dir {
         Some(dir) => {
             let path = journal_path(dir);
             let prior = Journal::load(&path).failed;
-            (Some(Journal::open(&path)?), prior)
+            (
+                Some(Journal::open(&path)?.with_chaos(Arc::clone(&chaos))),
+                prior,
+            )
         }
         None => (None, Vec::new()),
     };
+    let watchdog = spec.supervise.deadline.map(Watchdog::spawn);
 
     let workers = spec
         .threads
@@ -318,6 +365,11 @@ pub fn run_campaign(
         spec.points.iter().map(|_| Mutex::new(None)).collect();
     let cache_hits = AtomicUsize::new(0);
     let simulated_records = AtomicU64::new(0);
+    let retries = AtomicUsize::new(0);
+    let timed_out = AtomicUsize::new(0);
+    // Quarantined points as (index, label, last error); sorted by index
+    // at the end so the report is independent of worker scheduling.
+    let quarantined: Mutex<Vec<(usize, String, String)>> = Mutex::new(Vec::new());
     // Self-profile: summed per-point simulation wall time (nanoseconds)
     // and the per-point timings behind the report's slowest-points list.
     let sim_wall_nanos = AtomicU64::new(0);
@@ -374,6 +426,11 @@ pub fn run_campaign(
             let simulated_records = &simulated_records;
             let sim_wall_nanos = &sim_wall_nanos;
             let point_timings = &point_timings;
+            let retries = &retries;
+            let timed_out = &timed_out;
+            let quarantined = &quarantined;
+            let watchdog = watchdog.as_ref();
+            let chaos = &chaos;
             let done = &done;
             let in_flight = &in_flight;
             let progress = progress.clone();
@@ -410,7 +467,7 @@ pub fn run_campaign(
                                 records: point_records(point),
                                 elapsed: point_start.elapsed(),
                             });
-                            *slots[index].lock().expect("slot poisoned") =
+                            *slots[index].lock().unwrap_or_else(|e| e.into_inner()) =
                                 Some(PointOutcome::Metrics(hit));
                             done.fetch_add(1, Ordering::Relaxed);
                             in_flight.fetch_sub(1, Ordering::Relaxed);
@@ -418,101 +475,183 @@ pub fn run_campaign(
                         }
                     }
 
-                    let opts = RunOptions {
-                        checked: spec.checked,
-                        fault: spec.fault,
-                    };
-                    let run = catch_unwind(AssertUnwindSafe(|| {
-                        if observed {
-                            let ocfg = if wants_trace {
-                                ObserveConfig {
-                                    interval: spec.observe.interval,
-                                    ..ObserveConfig::default()
-                                }
+                    // The attempt loop: transient failures (panics,
+                    // watchdog cancellations) retry with deterministic
+                    // backoff up to the policy's budget, then quarantine;
+                    // deterministic simulation faults fail fast.
+                    let fp_hex = fp.to_hex();
+                    let mut attempt: u32 = 0;
+                    let outcome = loop {
+                        // Each attempt gets a fresh cancel flag; the
+                        // watchdog monitor sets it once the attempt is
+                        // overdue and the model's cycle loop notices.
+                        let cancel = Arc::new(AtomicBool::new(false));
+                        let guard = watchdog.map(|w| w.register(Arc::clone(&cancel)));
+                        let budget = (watchdog.is_some() || spec.supervise.cycle_budget.is_some())
+                            .then(|| CycleBudget {
+                                max_cycles: spec.supervise.cycle_budget,
+                                cancel: watchdog.is_some().then(|| Arc::clone(&cancel)),
+                            });
+                        let opts = RunOptions {
+                            checked: spec.checked,
+                            fault: spec.fault,
+                            budget,
+                        };
+                        let run = catch_unwind(AssertUnwindSafe(|| {
+                            // Chaos strikes only a point's first attempt,
+                            // so the retry ladder always recovers and a
+                            // chaos campaign's final results stay
+                            // byte-identical to an undisturbed run's.
+                            if attempt == 0 && chaos.fire(HarnessFaultClass::PointHang, &fp_hex) {
+                                return Err(SimError::watchdog(0, "chaos: injected point hang"));
+                            }
+                            if attempt == 0 && chaos.fire(HarnessFaultClass::WorkerPanic, &fp_hex) {
+                                panic!("chaos: injected worker panic");
+                            }
+                            if observed {
+                                let ocfg = if wants_trace {
+                                    ObserveConfig {
+                                        interval: spec.observe.interval,
+                                        ..ObserveConfig::default()
+                                    }
+                                } else {
+                                    ObserveConfig::metrics_only(spec.observe.interval)
+                                };
+                                try_execute_point_observed(point, opts, ocfg)
                             } else {
-                                ObserveConfig::metrics_only(spec.observe.interval)
-                            };
-                            try_execute_point_observed(point, opts, ocfg)
+                                try_execute_point(point, opts)
+                                    .map(|m| (m, RunObservation::default()))
+                            }
+                        }));
+                        drop(guard);
+
+                        // Classify: success breaks out; a deterministic
+                        // fault breaks out (fail fast); a transient
+                        // failure falls through to the retry ladder.
+                        let (error, was_timeout) = match run {
+                            Ok(Ok((metrics, obs))) => {
+                                simulated_records
+                                    .fetch_add(point_records(point), Ordering::Relaxed);
+                                let sim_elapsed = point_start.elapsed();
+                                sim_wall_nanos
+                                    .fetch_add(sim_elapsed.as_nanos() as u64, Ordering::Relaxed);
+                                point_timings
+                                    .lock()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .push((label.clone(), sim_elapsed));
+                                if let Some(c) = cache {
+                                    // A failed store degrades the next run
+                                    // to a re-simulation; the current one
+                                    // is unharmed.
+                                    let _ = c.store(fp, &metrics);
+                                    if wants_trace {
+                                        let _ = c.store_artifact(
+                                            fp,
+                                            "trace.json",
+                                            &perfetto_json(&obs),
+                                        );
+                                        let _ = c.store_artifact(
+                                            fp,
+                                            "pipeline.txt",
+                                            &pipeline_text(&obs),
+                                        );
+                                    }
+                                    if spec.observe.metrics {
+                                        let _ = c.store_artifact(
+                                            fp,
+                                            "metrics.jsonl",
+                                            &to_jsonl(&obs.intervals),
+                                        );
+                                    }
+                                }
+                                if let Some(j) = journal {
+                                    j.record_ok(fp, &label);
+                                }
+                                send(&progress, || ProgressEvent::Finished {
+                                    index,
+                                    label: label.clone(),
+                                    cache_hit: false,
+                                    records: point_records(point),
+                                    elapsed: point_start.elapsed(),
+                                });
+                                break PointOutcome::Metrics(metrics);
+                            }
+                            Ok(Err(sim)) if sim.is_watchdog() => {
+                                timed_out.fetch_add(1, Ordering::Relaxed);
+                                (sim.to_string(), true)
+                            }
+                            Ok(Err(sim)) => {
+                                // Deterministic simulation fault: retrying
+                                // a pure function reproduces it, so fail
+                                // fast — dump the full diagnostics next to
+                                // the cache entry (best effort) and keep
+                                // the campaign going.
+                                let error = sim.to_string();
+                                let dump_path =
+                                    cache.and_then(|c| c.store_failure(fp, &sim.to_json()).ok());
+                                if let Some(j) = journal {
+                                    j.record_fail(fp, &label, &error);
+                                }
+                                send(&progress, || ProgressEvent::Failed {
+                                    index,
+                                    label: label.clone(),
+                                    error: error.clone(),
+                                });
+                                break PointOutcome::Failed {
+                                    error,
+                                    dump_path,
+                                    attempts: attempt + 1,
+                                    quarantined: false,
+                                };
+                            }
+                            Err(payload) => (panic_message(payload.as_ref()), false),
+                        };
+
+                        if attempt < spec.supervise.retries {
+                            retries.fetch_add(1, Ordering::Relaxed);
+                            if let Some(j) = journal {
+                                j.record_retry(fp, &label, &error);
+                            }
+                            send(&progress, || ProgressEvent::Retrying {
+                                index,
+                                label: label.clone(),
+                                attempt,
+                                error: error.clone(),
+                            });
+                            std::thread::sleep(spec.supervise.backoff_for(fp, attempt + 1));
+                            attempt += 1;
+                            continue;
+                        }
+
+                        // Retry budget exhausted: quarantine the point.
+                        if let Some(j) = journal {
+                            j.record_fail(fp, &label, &error);
+                        }
+                        quarantined.lock().unwrap_or_else(|e| e.into_inner()).push((
+                            index,
+                            label.clone(),
+                            error.clone(),
+                        ));
+                        send(&progress, || ProgressEvent::Failed {
+                            index,
+                            label: label.clone(),
+                            error: error.clone(),
+                        });
+                        break if was_timeout {
+                            PointOutcome::TimedOut {
+                                error,
+                                attempts: attempt + 1,
+                            }
                         } else {
-                            try_execute_point(point, opts).map(|m| (m, RunObservation::default()))
-                        }
-                    }));
-                    let outcome = match run {
-                        Ok(Ok((metrics, obs))) => {
-                            simulated_records.fetch_add(point_records(point), Ordering::Relaxed);
-                            let sim_elapsed = point_start.elapsed();
-                            sim_wall_nanos
-                                .fetch_add(sim_elapsed.as_nanos() as u64, Ordering::Relaxed);
-                            point_timings
-                                .lock()
-                                .expect("timings poisoned")
-                                .push((label.clone(), sim_elapsed));
-                            if let Some(c) = cache {
-                                // A failed store degrades the next run to a
-                                // re-simulation; the current one is unharmed.
-                                let _ = c.store(fp, &metrics);
-                                if wants_trace {
-                                    let _ =
-                                        c.store_artifact(fp, "trace.json", &perfetto_json(&obs));
-                                    let _ =
-                                        c.store_artifact(fp, "pipeline.txt", &pipeline_text(&obs));
-                                }
-                                if spec.observe.metrics {
-                                    let _ = c.store_artifact(
-                                        fp,
-                                        "metrics.jsonl",
-                                        &to_jsonl(&obs.intervals),
-                                    );
-                                }
-                            }
-                            if let Some(j) = journal {
-                                j.record_ok(fp, &label);
-                            }
-                            send(&progress, || ProgressEvent::Finished {
-                                index,
-                                label: label.clone(),
-                                cache_hit: false,
-                                records: point_records(point),
-                                elapsed: point_start.elapsed(),
-                            });
-                            PointOutcome::Metrics(metrics)
-                        }
-                        Ok(Err(sim)) => {
-                            // Structured simulation fault: dump the full
-                            // diagnostics next to the cache entry (best
-                            // effort) and keep the campaign going.
-                            let error = sim.to_string();
-                            let dump_path =
-                                cache.and_then(|c| c.store_failure(fp, &sim.to_json()).ok());
-                            if let Some(j) = journal {
-                                j.record_fail(fp, &label, &error);
-                            }
-                            send(&progress, || ProgressEvent::Failed {
-                                index,
-                                label: label.clone(),
-                                error: error.clone(),
-                            });
-                            PointOutcome::Failed { error, dump_path }
-                        }
-                        Err(payload) => {
-                            // Contract panic (misconfigured point); there
-                            // is no structured state to dump.
-                            let error = panic_message(payload.as_ref());
-                            if let Some(j) = journal {
-                                j.record_fail(fp, &label, &error);
-                            }
-                            send(&progress, || ProgressEvent::Failed {
-                                index,
-                                label: label.clone(),
-                                error: error.clone(),
-                            });
                             PointOutcome::Failed {
                                 error,
                                 dump_path: None,
+                                attempts: attempt + 1,
+                                quarantined: true,
                             }
-                        }
+                        };
                     };
-                    *slots[index].lock().expect("slot poisoned") = Some(outcome);
+                    *slots[index].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
                     done.fetch_add(1, Ordering::Relaxed);
                     in_flight.fetch_sub(1, Ordering::Relaxed);
                 }
@@ -525,11 +664,20 @@ pub fn run_campaign(
         let _ = handle.join();
     }
 
+    // Journal every chaos fault that fired, sorted — so the trail is
+    // independent of worker scheduling and the soak gate can assert each
+    // injected fault is visible.
+    if let Some(j) = &journal {
+        for fault in chaos.fired() {
+            j.record_chaos(fault.class, &fault.key);
+        }
+    }
+
     let outcomes: Vec<PointOutcome> = slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("slot poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .expect("every point visited")
         })
         .collect();
@@ -537,14 +685,24 @@ pub fn run_campaign(
         .iter()
         .filter(|o| matches!(o, PointOutcome::Metrics(_)))
         .count();
-    let mut slowest = point_timings.into_inner().expect("timings poisoned");
+    let mut slowest = point_timings
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
     slowest.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     slowest.truncate(5);
+    let mut quarantined = quarantined.into_inner().unwrap_or_else(|e| e.into_inner());
+    quarantined.sort_by_key(|(index, _, _)| *index);
     let report = CampaignReport {
         completed,
         failed: outcomes.len() - completed,
         cache_hits: cache_hits.into_inner(),
         simulated_records: simulated_records.into_inner(),
+        retries: retries.into_inner(),
+        timed_out: timed_out.into_inner(),
+        quarantined: quarantined
+            .into_iter()
+            .map(|(_, label, error)| (label, error))
+            .collect(),
         elapsed: start.elapsed(),
         sim_wall: Duration::from_nanos(sim_wall_nanos.into_inner()),
         slowest,
@@ -576,8 +734,17 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use s64v_core::{FaultClass, FaultPlan, SystemConfig};
+    use crate::supervise::SupervisePolicy;
+    use s64v_core::{ChaosPlan, FaultClass, FaultPlan, SystemConfig};
     use s64v_workloads::SuiteKind;
+
+    /// The default retry ladder with no backoff sleeps (unit-test speed).
+    fn fast_policy() -> SupervisePolicy {
+        SupervisePolicy {
+            backoff: Duration::ZERO,
+            ..SupervisePolicy::default()
+        }
+    }
 
     fn program_point(records: usize, seed: u64) -> SimPoint {
         SimPoint {
@@ -618,10 +785,13 @@ mod tests {
     }
 
     #[test]
-    fn panicking_point_is_contained() {
+    fn panicking_point_is_contained_and_quarantined() {
         // records = 0 trips the model's "warmup must leave records to
-        // time" assertion.
-        let spec = CampaignSpec::new("unit", vec![program_point(0, 1), program_point(3_000, 1)]);
+        // time" assertion. A panic is a transient failure: the default
+        // policy re-runs it (deterministically panicking again) until the
+        // retry budget is spent, then quarantines the point.
+        let spec = CampaignSpec::new("unit", vec![program_point(0, 1), program_point(3_000, 1)])
+            .with_supervise(fast_policy());
         let outcome = run_campaign(&spec, None).expect("run");
         assert!(outcome.outcomes[0].metrics().is_none());
         assert!(outcome.outcomes[1].metrics().is_some());
@@ -635,6 +805,79 @@ mod tests {
         );
         assert_eq!(outcome.report.failed, 1);
         assert_eq!(outcome.report.completed, 1);
+        assert_eq!(outcome.report.retries, 2, "default policy retries twice");
+        let PointOutcome::Failed {
+            attempts,
+            quarantined,
+            ..
+        } = &outcome.outcomes[0]
+        else {
+            panic!("expected a failure, got {:?}", outcome.outcomes[0]);
+        };
+        assert_eq!(*attempts, 3, "first try plus two retries");
+        assert!(*quarantined, "exhausted retries quarantine the point");
+        assert_eq!(outcome.report.quarantined.len(), 1);
+        assert!(outcome.report.quarantined[0].1.contains("warmup"));
+    }
+
+    #[test]
+    fn cycle_budget_cancels_and_quarantines_a_runaway_point() {
+        let policy = fast_policy().with_cycle_budget(5_000).with_retries(1);
+        let spec = CampaignSpec::new("unit", vec![program_point(60_000, 1)]).with_supervise(policy);
+        let outcome = run_campaign(&spec, None).expect("run");
+        let PointOutcome::TimedOut { error, attempts } = &outcome.outcomes[0] else {
+            panic!("expected a timeout, got {:?}", outcome.outcomes[0]);
+        };
+        assert!(error.contains("cycle budget"), "got: {error}");
+        assert_eq!(*attempts, 2, "one retry, then quarantine");
+        assert_eq!(outcome.report.timed_out, 2, "both attempts were cancelled");
+        assert_eq!(outcome.report.retries, 1);
+        assert_eq!(outcome.report.quarantined.len(), 1);
+        assert_eq!(
+            outcome.report.failed, 1,
+            "a quarantined point counts failed"
+        );
+    }
+
+    #[test]
+    fn wall_clock_deadline_cancels_a_hung_point() {
+        // A deadline that has always already passed: the monitor cancels
+        // the attempt at its first tick, long before a 200k-record
+        // simulation can finish.
+        let policy = fast_policy()
+            .with_deadline(Duration::from_nanos(1))
+            .with_retries(0);
+        let spec =
+            CampaignSpec::new("unit", vec![program_point(200_000, 1)]).with_supervise(policy);
+        let outcome = run_campaign(&spec, None).expect("run");
+        let PointOutcome::TimedOut { error, attempts } = &outcome.outcomes[0] else {
+            panic!("expected a timeout, got {:?}", outcome.outcomes[0]);
+        };
+        assert!(error.contains("wall-clock watchdog"), "got: {error}");
+        assert_eq!(*attempts, 1, "retries = 0 gives up after the first attempt");
+        assert_eq!(outcome.report.timed_out, 1);
+    }
+
+    #[test]
+    fn chaos_campaign_matches_a_clean_run_byte_for_byte() {
+        let points = vec![program_point(3_000, 1), program_point(3_000, 2)];
+        let clean = run_campaign(&CampaignSpec::new("unit", points.clone()), None).expect("run");
+        // Rate 1000: every chaos opportunity fires, so every point's
+        // first attempt is hung and every one must recover by retry.
+        let chaos = run_campaign(
+            &CampaignSpec::new("unit", points)
+                .with_supervise(fast_policy())
+                .with_chaos(ChaosPlan::new(3, 1_000)),
+            None,
+        )
+        .expect("run");
+        assert_eq!(chaos.report.completed, 2);
+        assert_eq!(chaos.report.retries, 2, "each first attempt was injected");
+        assert_eq!(chaos.report.timed_out, 2, "injected hangs read as timeouts");
+        assert!(chaos.report.quarantined.is_empty(), "retries recover chaos");
+        for (c, d) in clean.outcomes.iter().zip(&chaos.outcomes) {
+            assert_eq!(c.metrics(), d.metrics(), "chaos must never change results");
+        }
     }
 
     #[test]
@@ -816,10 +1059,18 @@ mod tests {
         // campaign still visits all of them.
         assert_eq!(outcome.report.failed, 2);
         for o in &outcome.outcomes {
-            let PointOutcome::Failed { error, dump_path } = o else {
+            let PointOutcome::Failed {
+                error,
+                dump_path,
+                attempts,
+                quarantined,
+            } = o
+            else {
                 panic!("faulted point must fail, got {o:?}");
             };
             assert!(error.contains("commit"), "got: {error}");
+            assert_eq!(*attempts, 1, "deterministic SimErrors fail fast, no retry");
+            assert!(!quarantined, "a fail-fast point is not quarantined");
             let path = dump_path.as_ref().expect("dump written next to cache");
             let json = std::fs::read_to_string(path).expect("dump readable");
             assert!(json.contains("\"component\": \"commit\""), "got: {json}");

@@ -19,6 +19,8 @@
 use crate::engine::run_campaign;
 use crate::progress::ProgressEvent;
 use crate::spec::{CampaignSpec, PointMetrics, SimPoint, WorkUnit};
+use crate::supervise::{atomic_write, seal, unseal_lenient, CacheLock, SupervisePolicy};
+use s64v_core::ChaosPlan;
 use s64v_explore::{
     run_search, ExecutionStats, ExploreEvent, ExploreReport, ExploreSpec, Measurement, RoundPlan,
 };
@@ -39,6 +41,10 @@ pub struct ExploreOpts {
     pub fresh: bool,
     /// Heartbeat period for round campaigns.
     pub heartbeat: Option<Duration>,
+    /// Per-point supervision for every round campaign.
+    pub supervise: SupervisePolicy,
+    /// Seeded chaos schedule for soak runs (`None` = no chaos).
+    pub chaos: Option<ChaosPlan>,
 }
 
 /// The cached-report file for a spec inside a cache directory.
@@ -47,13 +53,24 @@ pub fn report_path(cache_dir: &Path, spec: &ExploreSpec) -> PathBuf {
 }
 
 /// Loads a cached report for `spec`, applying the cache's
-/// corruption-is-a-miss convention: an unreadable, unparsable or
-/// mismatched file warns and returns `None`, and the caller re-runs the
-/// query (the fresh store repairs the entry).
+/// corruption-is-a-miss convention: an unreadable, unparsable,
+/// checksum-failing or mismatched file warns and returns `None`, and the
+/// caller re-runs the query (the fresh store repairs the entry). Sealed
+/// and legacy unsealed reports both load.
 pub fn load_cached_report(cache_dir: &Path, spec: &ExploreSpec) -> Option<ExploreReport> {
     let path = report_path(cache_dir, spec);
     let text = std::fs::read_to_string(&path).ok()?;
-    match ExploreReport::parse(&text) {
+    let payload = match unseal_lenient(&text) {
+        Ok(p) => p,
+        Err(reason) => {
+            eprintln!(
+                "warning: corrupted exploration report {} ({reason}); re-running the query",
+                path.display()
+            );
+            return None;
+        }
+    };
+    match ExploreReport::parse(payload) {
         Ok(report) if report.spec == *spec => Some(report),
         Ok(_) => {
             // Fingerprint collision or a hand-edited file: either way the
@@ -120,6 +137,14 @@ pub fn run_explore(
     progress: Option<Sender<ProgressEvent>>,
     mut on_event: impl FnMut(&ExploreEvent),
 ) -> Result<ExploreReport, String> {
+    // Hold the cache-directory lock across the whole query — the report
+    // read, every round campaign (re-entrant) and the final report store
+    // — so a concurrent campaign cannot interleave with any of them.
+    let _lock = match &opts.cache_dir {
+        Some(dir) => Some(CacheLock::acquire(dir).map_err(|e| format!("locking cache dir: {e}"))?),
+        None => None,
+    };
+
     if !opts.fresh {
         if let Some(dir) = &opts.cache_dir {
             if let Some(mut report) = load_cached_report(dir, spec) {
@@ -150,6 +175,8 @@ pub fn run_explore(
                 fault: None,
                 observe: Default::default(),
                 heartbeat: opts.heartbeat,
+                supervise: opts.supervise.clone(),
+                chaos: opts.chaos,
             };
             match run_campaign(&cspec, progress.clone()) {
                 Err(e) => {
@@ -161,6 +188,7 @@ pub fn run_explore(
                     ex.cache_hits += outcome.report.cache_hits;
                     ex.simulated += outcome.report.completed - outcome.report.cache_hits;
                     ex.failed += outcome.report.failed;
+                    ex.quarantined += outcome.report.quarantined.len();
                     ex.simulated_records += outcome.report.simulated_records;
                     outcome
                         .outcomes
@@ -195,14 +223,14 @@ pub fn run_explore(
     Ok(report)
 }
 
-/// Writes a report into the report cache (tmp + rename, like every other
-/// cache write) and returns its path.
+/// Writes a report into the report cache — sealed with an integrity
+/// footer and landed crash-safely (temp file + fsync + atomic rename),
+/// like every other cache write — and returns its path.
 pub fn store_report(cache_dir: &Path, report: &ExploreReport) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(cache_dir)?;
     let path = report_path(cache_dir, &report.spec);
-    let tmp = path.with_extension("json.tmp");
-    std::fs::write(&tmp, format!("{:#}\n", report.to_value()))?;
-    std::fs::rename(&tmp, &path)?;
+    let sealed = seal(&format!("{:#}\n", report.to_value()));
+    atomic_write(&path, sealed.as_bytes())?;
     Ok(path)
 }
 
@@ -285,8 +313,37 @@ mod tests {
             first.answer_value().to_string()
         );
         let repaired = std::fs::read_to_string(&path).expect("repaired");
-        ExploreReport::parse(&repaired).expect("fresh store repaired the entry");
+        let payload = unseal_lenient(&repaired).expect("repaired entry verifies");
+        ExploreReport::parse(payload).expect("fresh store repaired the entry");
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flipped_report_is_a_miss_and_the_answer_is_identical() {
+        let dir = scratch("report-flip");
+        let spec = tiny_spec("driver-flip");
+        let opts = ExploreOpts {
+            cache_dir: Some(dir.clone()),
+            ..ExploreOpts::default()
+        };
+        let first = run_explore(&spec, &opts, None, |_| {}).expect("first run");
+
+        // Flip one byte inside the payload: the length still matches, so
+        // only the checksum catches it.
+        let path = report_path(&dir, &spec);
+        let mut bytes = std::fs::read(&path).expect("report readable");
+        let mid = bytes.len() / 2;
+        bytes[mid] = if bytes[mid] == b'1' { b'2' } else { b'1' };
+        std::fs::write(&path, &bytes).expect("flip");
+
+        let second = run_explore(&spec, &opts, None, |_| {}).expect("re-run after bit flip");
+        assert!(!second.execution.report_cached, "bit flip is a miss");
+        assert_eq!(
+            second.answer_value().to_string(),
+            first.answer_value().to_string(),
+            "the re-run answer is byte-identical"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

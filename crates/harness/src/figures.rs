@@ -16,11 +16,13 @@ use crate::progress::{CampaignReport, ProgressEvent};
 use crate::spec::{
     env_usize, CampaignSpec, HarnessOpts, ObservePlan, PointMetrics, SimPoint, WorkUnit,
 };
+use crate::supervise::SupervisePolicy;
 use crate::{banner, emit};
 use s64v_core::accuracy::{machine_residual, MACHINE_RESIDUAL_MAX};
 use s64v_core::fingerprint::Fingerprint;
 use s64v_core::stability::SeedStudy;
 use s64v_core::versions::ModelVersion;
+use s64v_core::ChaosPlan;
 use s64v_core::{program_seed, SystemConfig};
 use s64v_stats::ratio::relative_change_percent;
 use s64v_stats::{Ratio, Table};
@@ -1263,6 +1265,10 @@ pub fn figure_names() -> Vec<&'static str> {
 /// | `S64V_CHECKED` | run the invariant auditor when set to `1` | unset |
 /// | `S64V_TRACE` | comma-separated label substrings to trace | unset |
 /// | `S64V_METRICS` | record interval metrics when set to `1` | unset |
+/// | `S64V_POINT_DEADLINE` | per-point wall-clock deadline (seconds) | none |
+/// | `S64V_CYCLE_BUDGET` | per-point simulated-cycle ceiling | none |
+/// | `S64V_POINT_RETRIES` | transient-failure retries per point | 2 |
+/// | `S64V_BACKOFF_MS` | base retry backoff (milliseconds) | 20 |
 ///
 /// Rendered tables additionally honour `S64V_RESULTS_DIR` (see
 /// [`crate::emit`]) so reduced-size smoke runs can write CSVs to a
@@ -1279,6 +1285,10 @@ pub struct EngineOpts {
     pub trace: Vec<String>,
     /// Record interval metrics for every point.
     pub metrics: bool,
+    /// Per-point supervision policy (see [`crate::supervise`]).
+    pub supervise: SupervisePolicy,
+    /// Seeded chaos schedule (`campaign soak` only; `None` = no chaos).
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl EngineOpts {
@@ -1311,6 +1321,8 @@ impl EngineOpts {
             checked,
             trace,
             metrics,
+            supervise: SupervisePolicy::from_env(),
+            chaos: None,
         }
     }
 }
@@ -1395,6 +1407,8 @@ pub fn run_figures(
             ..ObservePlan::default()
         },
         heartbeat: Some(Duration::from_secs(10)),
+        supervise: engine.supervise.clone(),
+        chaos: engine.chaos,
     };
     let outcome = run_campaign(&spec, progress).map_err(|e| format!("campaign I/O: {e}"))?;
     let store = PointStore::from_run(&spec.points, &outcome.outcomes);

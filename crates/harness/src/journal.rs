@@ -7,18 +7,30 @@
 //! cache cannot do — which points panicked (and why), and how far the
 //! previous run got.
 //!
-//! Line format (space-separated, message is the line's tail):
+//! Line format (space-separated, message is the line's tail; every line
+//! carries a ` |c=<crc>` suffix over its body so the loader can detect a
+//! torn append — a truncated tail, or two lines merged by a crash
+//! mid-write — and skip the damage instead of misparsing it):
 //!
 //! ```text
-//! ok   <fingerprint> <label...>
-//! fail <fingerprint> <label> :: <error message>
+//! ok     <fingerprint> <label...> |c=<crc>
+//! fail   <fingerprint> <label> :: <error message> |c=<crc>
+//! retry  <fingerprint> <label> :: <transient error> |c=<crc>
+//! chaos  <fault-class> <key> |c=<crc>
 //! ```
+//!
+//! `retry` lines record recovered transient failures (the point went on
+//! to succeed or be quarantined — later lines say which); `chaos` lines
+//! record every fault the soak harness injected, so the soak gate can
+//! assert each one left a visible trail.
 
+use crate::supervise::{line_crc, ChaosInjector};
 use s64v_core::fingerprint::Fingerprint;
+use s64v_core::HarnessFaultClass;
 use std::collections::HashSet;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// One failed point recorded in a journal.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +51,13 @@ pub struct JournalState {
     /// Points that failed, in journal order (a point that later
     /// succeeded — e.g. on a retry run — is dropped from this list).
     pub failed: Vec<FailedPoint>,
+    /// Recovered transient failures, in journal order (each one is an
+    /// attempt that failed and was re-run).
+    pub retries: Vec<FailedPoint>,
+    /// Chaos faults injected by a soak campaign: `(class, key)` pairs.
+    pub chaos: Vec<(String, String)>,
+    /// Lines whose checksum failed (torn appends) — skipped, counted.
+    pub corrupt_lines: usize,
 }
 
 /// An open journal file, safe to append from worker threads.
@@ -46,6 +65,12 @@ pub struct JournalState {
 pub struct Journal {
     file: Mutex<std::fs::File>,
     path: PathBuf,
+    chaos: Option<Arc<ChaosInjector>>,
+    /// The last append was chaos-torn (no trailing newline); the next
+    /// append seals the fragment off first, exactly as [`Journal::open`]
+    /// does for a real crash, so one torn line never swallows its
+    /// successor.
+    torn: std::sync::atomic::AtomicBool,
 }
 
 /// The journal file inside a cache directory.
@@ -60,14 +85,35 @@ impl Journal {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        let file = std::fs::OpenOptions::new()
+        let mut file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)?;
+        // A crash mid-append leaves a torn final line with no newline; seal
+        // it off so this session's first append lands on a fresh line (the
+        // fragment alone fails its checksum and is skipped by the loader).
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if !text.is_empty() && !text.ends_with('\n') {
+                let _ = file.write_all(b"\n");
+            }
+        }
         Ok(Journal {
             file: Mutex::new(file),
             path: path.to_path_buf(),
+            chaos: None,
+            torn: std::sync::atomic::AtomicBool::new(false),
         })
+    }
+
+    /// Arms the seeded chaos injector: an append whose key the schedule
+    /// selects is truncated mid-line with no trailing newline, exactly as
+    /// a crash mid-append would leave the file. The per-line checksum
+    /// makes the loader skip the damage (the torn fragment merges with
+    /// the next line and both fail their checksum) instead of misparsing
+    /// it.
+    pub fn with_chaos(mut self, chaos: Arc<ChaosInjector>) -> Self {
+        self.chaos = Some(chaos);
+        self
     }
 
     /// Where this journal lives.
@@ -75,20 +121,36 @@ impl Journal {
         &self.path
     }
 
-    /// Reads the accumulated state (missing file = empty state; malformed
-    /// lines are skipped).
+    /// Reads the accumulated state (missing file = empty state). A line
+    /// with a missing or wrong checksum is a torn append: it is skipped
+    /// and counted in [`JournalState::corrupt_lines`], never misparsed
+    /// and never an error.
     pub fn load(path: &Path) -> JournalState {
         let mut state = JournalState::default();
         let Ok(text) = std::fs::read_to_string(path) else {
             return state;
         };
         for line in text.lines() {
-            let mut parts = line.splitn(3, ' ');
-            let (Some(tag), Some(fp_hex), Some(rest)) = (parts.next(), parts.next(), parts.next())
+            let Some((body, crc)) = line.rsplit_once(" |c=") else {
+                if !line.is_empty() {
+                    state.corrupt_lines += 1;
+                }
+                continue;
+            };
+            if line_crc(body) != crc {
+                state.corrupt_lines += 1;
+                continue;
+            }
+            let mut parts = body.splitn(3, ' ');
+            let (Some(tag), Some(second), Some(rest)) = (parts.next(), parts.next(), parts.next())
             else {
                 continue;
             };
-            let Some(fp) = Fingerprint::parse_hex(fp_hex) else {
+            if tag == "chaos" {
+                state.chaos.push((second.to_string(), rest.to_string()));
+                continue;
+            }
+            let Some(fp) = Fingerprint::parse_hex(second) else {
                 continue;
             };
             match tag {
@@ -96,16 +158,21 @@ impl Journal {
                     state.completed.insert(fp);
                     state.failed.retain(|f| f.fingerprint != fp);
                 }
-                "fail" => {
+                "fail" | "retry" => {
                     let (label, error) = match rest.split_once(" :: ") {
                         Some((l, e)) => (l.to_string(), e.to_string()),
                         None => (rest.to_string(), String::new()),
                     };
-                    state.failed.push(FailedPoint {
+                    let record = FailedPoint {
                         fingerprint: fp,
                         label,
                         error,
-                    });
+                    };
+                    if tag == "retry" {
+                        state.retries.push(record);
+                    } else {
+                        state.failed.push(record);
+                    }
                 }
                 _ => {}
             }
@@ -115,28 +182,74 @@ impl Journal {
 
     /// Records a completed point.
     pub fn record_ok(&self, fp: Fingerprint, label: &str) {
-        self.append(&format!("ok {fp} {}\n", sanitize(label)));
+        self.append(&format!("ok {fp} {}", sanitize(label)));
     }
 
     /// Records a failed point with its error message.
     pub fn record_fail(&self, fp: Fingerprint, label: &str, error: &str) {
         self.append(&format!(
-            "fail {fp} {} :: {}\n",
+            "fail {fp} {} :: {}",
             sanitize(label),
             sanitize(error)
         ));
     }
 
-    fn append(&self, line: &str) {
+    /// Records a recovered transient failure (the attempt will be re-run;
+    /// a later `ok` or `fail` line carries the point's final outcome).
+    pub fn record_retry(&self, fp: Fingerprint, label: &str, error: &str) {
+        self.append(&format!(
+            "retry {fp} {} :: {}",
+            sanitize(label),
+            sanitize(error)
+        ));
+    }
+
+    /// Records one injected chaos fault, making it visible for the soak
+    /// gate's every-fault-left-a-trail assertion. Written outside the
+    /// chaos hook: the fault *trail* must land intact even when the
+    /// journal itself is under truncation chaos.
+    pub fn record_chaos(&self, class: HarnessFaultClass, key: &str) {
+        self.append_clean(&format!("chaos {class} {}", sanitize(key)));
+    }
+
+    fn append(&self, body: &str) {
+        let line = format!("{body} |c={}\n", line_crc(body));
         // A poisoned lock means some worker panicked mid-append; the file
         // handle itself is still fine (at worst one line is torn, and the
-        // loader skips malformed lines), so keep journaling rather than
-        // letting one dead worker silence the rest of the campaign.
+        // loader skips checksum-failing lines), so keep journaling rather
+        // than letting one dead worker silence the rest of the campaign.
         let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        self.seal_torn_fragment(&mut file);
+        if let Some(chaos) = &self.chaos {
+            if chaos.fire(HarnessFaultClass::TruncatedJournal, body) {
+                // A torn append: half the line, no newline — what a crash
+                // mid-write leaves. The fragment fails its checksum on
+                // load and is skipped; the next append seals it off.
+                let cut = line.len() / 2;
+                let _ = file.write_all(&line.as_bytes()[..cut]);
+                let _ = file.flush();
+                self.torn.store(true, std::sync::atomic::Ordering::Relaxed);
+                return;
+            }
+        }
         // Journal writes are best-effort: losing a line degrades the
         // resume report, never the results (the cache holds those).
         let _ = file.write_all(line.as_bytes());
         let _ = file.flush();
+    }
+
+    fn append_clean(&self, body: &str) {
+        let line = format!("{body} |c={}\n", line_crc(body));
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        self.seal_torn_fragment(&mut file);
+        let _ = file.write_all(line.as_bytes());
+        let _ = file.flush();
+    }
+
+    fn seal_torn_fragment(&self, file: &mut std::fs::File) {
+        if self.torn.swap(false, std::sync::atomic::Ordering::Relaxed) {
+            let _ = file.write_all(b"\n");
+        }
     }
 }
 
@@ -195,6 +308,87 @@ mod tests {
         let state = Journal::load(&path);
         assert!(state.completed.is_empty());
         assert!(state.failed.is_empty());
+        assert_eq!(state.corrupt_lines, 2, "checksum-less lines are counted");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retry_and_chaos_lines_round_trip() {
+        let dir = std::env::temp_dir().join(format!("s64v-journal-rc-{}", std::process::id()));
+        let path = journal_path(&dir);
+        std::fs::remove_file(&path).ok();
+
+        let j = Journal::open(&path).expect("open");
+        j.record_retry(fp("a"), "point a", "panic: worker died");
+        j.record_ok(fp("a"), "point a");
+        j.record_chaos(HarnessFaultClass::PointHang, "deadbeef");
+
+        let state = Journal::load(&path);
+        assert!(state.completed.contains(&fp("a")));
+        assert!(
+            state.failed.is_empty(),
+            "a recovered retry is not a failure"
+        );
+        assert_eq!(state.retries.len(), 1);
+        assert!(state.retries[0].error.contains("worker died"));
+        assert_eq!(
+            state.chaos,
+            vec![("point-hang".to_string(), "deadbeef".to_string())]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_tail_is_skipped_not_misparsed() {
+        let dir = std::env::temp_dir().join(format!("s64v-journal-trunc-{}", std::process::id()));
+        let path = journal_path(&dir);
+        std::fs::remove_file(&path).ok();
+
+        let j = Journal::open(&path).expect("open");
+        j.record_ok(fp("whole"), "whole point");
+        j.record_ok(fp("torn"), "torn point");
+
+        // Tear the tail mid-line, as a crash mid-append would.
+        let text = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, &text[..text.len() - 9]).expect("tear");
+
+        let state = Journal::load(&path);
+        assert!(state.completed.contains(&fp("whole")));
+        assert!(
+            !state.completed.contains(&fp("torn")),
+            "a torn ok line must not count as completed"
+        );
+        assert_eq!(state.corrupt_lines, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chaos_truncation_damages_only_the_selected_append() {
+        use crate::supervise::ChaosInjector;
+        use s64v_core::ChaosPlan;
+
+        let dir = std::env::temp_dir().join(format!("s64v-journal-chaos-{}", std::process::id()));
+        let path = journal_path(&dir);
+        std::fs::remove_file(&path).ok();
+
+        // Rate 1000 per mille: every append is torn.
+        let chaos = ChaosInjector::new(Some(ChaosPlan::new(5, 1000)));
+        let j = Journal::open(&path).expect("open").with_chaos(chaos);
+        j.record_ok(fp("x"), "point x");
+        j.record_ok(fp("y"), "point y");
+        drop(j);
+
+        // Both torn fragments merge into checksum-failing garbage; the
+        // loader skips them without panicking or misparsing.
+        let state = Journal::load(&path);
+        assert!(state.completed.is_empty());
+        assert!(state.corrupt_lines >= 1);
+
+        // A clean journal reopened on the same file still works.
+        let j = Journal::open(&path).expect("reopen");
+        j.record_ok(fp("z"), "point z");
+        let state = Journal::load(&path);
+        assert!(state.completed.contains(&fp("z")));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -25,6 +25,13 @@
 //!   auditor](s64v_core::integrity), which never perturbs results but
 //!   turns silent model-state corruption into first-faulting-cycle
 //!   errors.
+//! * **Supervised execution** — a [`supervise`] layer adds per-point
+//!   watchdogs (wall-clock deadline + simulated-cycle budget), bounded
+//!   retry with deterministic backoff and a quarantine list for points
+//!   that keep failing transiently, crash-safe artifact storage (atomic
+//!   rename + fsync + length/checksum footers verified on read), a
+//!   per-cache-directory lock, and a seeded chaos injector the
+//!   `campaign soak` gate uses to prove all of the above recovers.
 //! * **Design-space exploration** — [`explore`] turns the engine into a
 //!   query answerer: a declarative `s64v-explore` spec (knob grid +
 //!   objective + constraints) runs as successive-halving rounds over the
@@ -42,12 +49,16 @@ pub mod figures;
 pub mod journal;
 pub mod progress;
 pub mod spec;
+pub mod supervise;
 
 pub use engine::{execute_point, run_campaign, try_execute_point, CampaignOutcome, PointOutcome};
 pub use explore::{load_cached_report, report_path, run_explore, store_report, ExploreOpts};
 pub use figures::{figure, figure_names, run_figures, EngineOpts, FigureDef, RunSummary};
 pub use progress::{CampaignReport, ProgressEvent};
 pub use spec::{CampaignSpec, HarnessOpts, PointMetrics, SimPoint, WorkUnit};
+pub use supervise::{
+    atomic_write, seal, unseal, unseal_lenient, CacheLock, ChaosInjector, SupervisePolicy, Watchdog,
+};
 
 /// Prints a table and also writes it as CSV under `results/`, or under
 /// `S64V_RESULTS_DIR` when set — smoke campaigns (CI) point it at a

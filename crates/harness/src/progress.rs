@@ -40,6 +40,18 @@ pub enum ProgressEvent {
         /// The recovered panic message.
         error: String,
     },
+    /// An attempt failed transiently (panic or watchdog timeout) and the
+    /// point is being re-run after a deterministic backoff.
+    Retrying {
+        /// Index into the campaign's point list.
+        index: usize,
+        /// The point's label.
+        label: String,
+        /// The attempt that just failed (0-based).
+        attempt: u32,
+        /// The transient error recovered from.
+        error: String,
+    },
     /// Periodic liveness pulse while points are running (period set by
     /// `CampaignSpec::heartbeat`).
     Heartbeat {
@@ -65,6 +77,13 @@ pub struct CampaignReport {
     pub failed: usize,
     /// Completed points served from the cache.
     pub cache_hits: usize,
+    /// Attempts that failed transiently and were re-run.
+    pub retries: usize,
+    /// Attempts cancelled by the watchdog (deadline or cycle budget).
+    pub timed_out: usize,
+    /// Points whose transient failures exhausted the retry budget; their
+    /// labels and last errors, in point order.
+    pub quarantined: Vec<(String, String)>,
     /// Trace records simulated (cache hits excluded).
     pub simulated_records: u64,
     /// Wall time for the whole campaign.
@@ -90,7 +109,7 @@ impl CampaignReport {
 
     /// One-line summary for logs.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} completed ({} from cache), {} failed, {:.2}M records simulated in {:.1}s ({:.0}K rec/s)",
             self.completed,
             self.cache_hits,
@@ -98,7 +117,16 @@ impl CampaignReport {
             self.simulated_records as f64 / 1e6,
             self.elapsed.as_secs_f64(),
             self.records_per_second() / 1e3,
-        )
+        );
+        if self.retries > 0 || self.timed_out > 0 || !self.quarantined.is_empty() {
+            s.push_str(&format!(
+                ", {} retried, {} timed out, {} quarantined",
+                self.retries,
+                self.timed_out,
+                self.quarantined.len()
+            ));
+        }
+        s
     }
 }
 
@@ -121,6 +149,25 @@ mod tests {
         assert!(s.contains("10 completed"));
         assert!(s.contains("4 from cache"));
         assert!(s.contains("1 failed"));
+        assert!(
+            !s.contains("quarantined"),
+            "a healthy campaign's summary stays unchanged"
+        );
+    }
+
+    #[test]
+    fn summary_reports_supervision_counts_when_present() {
+        let r = CampaignReport {
+            completed: 5,
+            retries: 3,
+            timed_out: 1,
+            quarantined: vec![("bad point".to_string(), "panic: boom".to_string())],
+            ..Default::default()
+        };
+        let s = r.summary();
+        assert!(s.contains("3 retried"));
+        assert!(s.contains("1 timed out"));
+        assert!(s.contains("1 quarantined"));
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! figures are assembled *from* point results by the render layer
 //! ([`crate::figures`]), never inside the engine.
 
+use crate::supervise::SupervisePolicy;
 use s64v_core::fingerprint::{Fingerprint, StableHasher};
-use s64v_core::{FaultPlan, SystemConfig};
+use s64v_core::{ChaosPlan, FaultPlan, SystemConfig};
 use s64v_workloads::SuiteKind;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -285,6 +286,15 @@ pub struct CampaignSpec {
     /// Emit a [`crate::progress::ProgressEvent::Heartbeat`] at this
     /// period while points are running (`None` = no heartbeat).
     pub heartbeat: Option<Duration>,
+    /// Per-point supervision: deadline, cycle budget, retry/quarantine
+    /// policy (see [`SupervisePolicy`]). Supervision never changes what a
+    /// healthy point computes, so it stays out of point fingerprints.
+    pub supervise: SupervisePolicy,
+    /// Seeded chaos schedule for soak campaigns (`None` = no chaos).
+    /// Faults are injected only on a point's first attempt and only into
+    /// recoverable paths, so a chaos campaign's final results are
+    /// byte-identical to an undisturbed run — the soak gate's property.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl CampaignSpec {
@@ -299,6 +309,8 @@ impl CampaignSpec {
             fault: None,
             observe: ObservePlan::default(),
             heartbeat: Some(Duration::from_secs(10)),
+            supervise: SupervisePolicy::default(),
+            chaos: None,
         }
     }
 
@@ -344,6 +356,18 @@ impl CampaignSpec {
     /// Sets the heartbeat period (`None` silences the heartbeat).
     pub fn with_heartbeat(mut self, period: Option<Duration>) -> Self {
         self.heartbeat = period;
+        self
+    }
+
+    /// Sets the supervision policy.
+    pub fn with_supervise(mut self, policy: SupervisePolicy) -> Self {
+        self.supervise = policy;
+        self
+    }
+
+    /// Arms the seeded chaos schedule (soak campaigns).
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
         self
     }
 }

@@ -6,6 +6,7 @@
 
 use s64v_explore::ExploreSpec;
 use s64v_harness::explore::{run_explore, ExploreOpts};
+use s64v_harness::supervise::SupervisePolicy;
 use std::path::PathBuf;
 
 /// A 3x3 grid at tiny trace lengths: big enough for halving to have two
@@ -39,6 +40,8 @@ fn opts(threads: usize, cache_dir: Option<PathBuf>, fresh: bool) -> ExploreOpts 
         cache_dir,
         fresh,
         heartbeat: None,
+        supervise: SupervisePolicy::default(),
+        chaos: None,
     }
 }
 

@@ -70,4 +70,14 @@ cargo run --release -p s64v-harness --bin campaign -- \
     --check-artifact "$EXPLORE_SCRATCH"/cache/*.explore.json > /dev/null 2>&1
 rm -rf "$EXPLORE_SCRATCH"
 
+echo "== chaos soak (supervised runtime must absorb every injected fault)"
+# Torn cache writes, truncated journal appends, injected hangs and
+# worker panics — the gate fails unless a chaos campaign's results are
+# byte-identical to an undisturbed run and every fault left evidence.
+SOAK_SCRATCH=target/ci-soak
+rm -rf "$SOAK_SCRATCH"
+cargo run --release -p s64v-harness --bin campaign -- \
+    soak --seed 7 --rate 400 --dir "$SOAK_SCRATCH" --quiet
+rm -rf "$SOAK_SCRATCH"
+
 echo "ci: all green"
