@@ -4,51 +4,79 @@
 //!
 //! Plain `harness = false` timing loops (the workspace builds offline,
 //! so there is no Criterion); run with `cargo bench -p s64v-bench`.
+//!
+//! Each `sim_speed` line also reports *simulated cycles per second* —
+//! records/s conflates workload IPC with raw kernel speed, while
+//! cycles/s is the honest unit for a cycle-stepped (and now
+//! cycle-skipping) kernel. `-- --smoke` runs a reduced-size variant for
+//! CI regression gating.
 
 use s64v_core::{PerformanceModel, SystemConfig};
 use s64v_workloads::{Suite, SuiteKind};
 use std::time::Instant;
 
-/// Runs `f` a few times and reports the best-iteration throughput.
-fn bench(group: &str, name: &str, elements: u64, iters: u32, mut f: impl FnMut()) {
+/// Runs `f` a few times and returns the best iteration in seconds.
+fn best_secs(iters: u32, mut f: impl FnMut()) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..iters {
         let t0 = Instant::now();
         f();
         best = best.min(t0.elapsed().as_secs_f64());
     }
-    println!(
-        "{group}/{name}: {:.3} ms/iter, {:.0} elem/s",
-        best * 1e3,
-        elements as f64 / best
-    );
+    best
 }
 
-fn sim_speed() {
+fn sim_speed(smoke: bool) {
+    let (records, warmup, iters) = if smoke {
+        (10_000usize, 50_000usize, 2)
+    } else {
+        (30_000usize, 200_000usize, 5)
+    };
     for kind in [SuiteKind::SpecInt95, SuiteKind::SpecFp95, SuiteKind::Tpcc] {
         let suite = Suite::preset(kind);
         let program = &suite.programs()[0];
-        let records = 30_000usize;
-        let trace = program.generate(records + 200_000, 7);
+        let trace = program.generate(records + warmup, 7);
         let model = PerformanceModel::new(SystemConfig::sparc64_v());
-        bench("sim_speed", kind.label(), records as u64, 5, || {
-            model.run_trace_warm(&trace, 200_000);
+        // The measured region simulates the same cycle count every
+        // iteration (the model is deterministic), so one probe run
+        // yields the cycles/s numerator.
+        let cycles = model.run_trace_warm(&trace, warmup).cycles;
+        let best = best_secs(iters, || {
+            model.run_trace_warm(&trace, warmup);
         });
+        println!(
+            "sim_speed/{}: {:.3} ms/iter, {:.0} elem/s, {:.0} cycles/s",
+            kind.label(),
+            best * 1e3,
+            records as f64 / best,
+            cycles as f64 / best
+        );
     }
 }
 
-fn generation_speed() {
+fn generation_speed(smoke: bool) {
+    let (records, iters) = if smoke {
+        (50_000usize, 2)
+    } else {
+        (100_000usize, 5)
+    };
     for kind in [SuiteKind::SpecInt95, SuiteKind::Tpcc] {
         let suite = Suite::preset(kind);
         let program = suite.programs()[0].clone();
-        let records = 100_000usize;
-        bench("trace_generation", kind.label(), records as u64, 5, || {
+        let best = best_secs(iters, || {
             program.generate(records, 7);
         });
+        println!(
+            "trace_generation/{}: {:.3} ms/iter, {:.0} elem/s",
+            kind.label(),
+            best * 1e3,
+            records as f64 / best
+        );
     }
 }
 
 fn main() {
-    sim_speed();
-    generation_speed();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    sim_speed(smoke);
+    generation_speed(smoke);
 }

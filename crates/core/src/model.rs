@@ -74,6 +74,11 @@ pub struct RunOptions {
     pub fault: Option<FaultPlan>,
     /// Cycle ceiling and cancellation flag (see [`CycleBudget`]).
     pub budget: Option<CycleBudget>,
+    /// Force every cycle to be stepped, disabling quiescent-cycle
+    /// skipping. Results are byte-identical either way (the equivalence
+    /// test suite asserts exactly that); the switch exists for those tests
+    /// and for debugging. Checked and faulted runs never skip regardless.
+    pub no_skip: bool,
 }
 
 impl RunOptions {
@@ -117,6 +122,14 @@ fn drive<S: TraceStream>(
     let mut fault = opts.fault;
     // Hoisted out of `opts` so an inactive budget costs one branch.
     let budget = opts.budget.filter(CycleBudget::is_active);
+    // Quiescent-cycle skipping: sound only when nothing outside the cores
+    // can act on an arbitrary cycle — so never under an auditor (it must
+    // see every cycle) or a fault plan (it fires at scheduled cycles).
+    let may_skip = !opts.no_skip
+        && auditor.is_none()
+        && fault.is_none()
+        && cores.iter().all(Core::skip_enabled);
+    let observe_interval = observer.as_ref().map_or(0, |o| o.interval());
     let mut done: Vec<bool> = vec![false; cores.len()];
     let mut now = 0u64;
     while done.iter().any(|d| !d) {
@@ -127,6 +140,7 @@ fn drive<S: TraceStream>(
             f.apply(now, cores, mem);
         }
         let mut stepped = false;
+        let mut idle = true;
         for i in 0..cores.len() {
             if done[i] {
                 continue;
@@ -135,10 +149,11 @@ fn drive<S: TraceStream>(
                 done[i] = true;
                 continue;
             }
-            cores[i]
-                .try_step(mem, &mut streams[i], now)
+            let (_, active) = cores[i]
+                .try_step_counted(mem, &mut streams[i], now)
                 .map_err(|e| SimError::from_core(*e, mem))?;
             stepped = true;
+            idle &= !active;
         }
         if let Some(a) = auditor.as_mut() {
             a.check(now, cores, mem)?;
@@ -146,6 +161,51 @@ fn drive<S: TraceStream>(
         if stepped {
             if let Some(o) = observer.as_mut() {
                 o.tick(now, cores, mem);
+            }
+        }
+        if may_skip && stepped && idle {
+            // Every active core must prove itself frozen; the jump lands
+            // on the earliest wakeup among them, further capped so that
+            // observer boundaries and budget polls still run on their
+            // exact cycles.
+            let mut wake = u64::MAX;
+            let mut frozen = true;
+            for i in 0..cores.len() {
+                if done[i] {
+                    continue;
+                }
+                match cores[i].next_wakeup(&streams[i], now) {
+                    Some(w) => wake = wake.min(w),
+                    None => {
+                        frozen = false;
+                        break;
+                    }
+                }
+            }
+            if frozen {
+                if observe_interval > 0 {
+                    let boundary = (now + 2).div_ceil(observe_interval) * observe_interval - 1;
+                    wake = wake.min(boundary);
+                }
+                if let Some(b) = &budget {
+                    if let Some(max) = b.max_cycles {
+                        wake = wake.min(max);
+                    }
+                    if b.cancel.is_some() {
+                        let next_poll =
+                            (now / CycleBudget::CANCEL_POLL + 1) * CycleBudget::CANCEL_POLL;
+                        wake = wake.min(next_poll);
+                    }
+                }
+                if wake > now + 1 {
+                    let n = wake - 1 - now;
+                    for i in 0..cores.len() {
+                        if !done[i] {
+                            cores[i].skip_cycles(now, n);
+                        }
+                    }
+                    now += n;
+                }
             }
         }
         now += 1;

@@ -110,6 +110,13 @@ impl Observer {
         }
     }
 
+    /// The configured sampling interval in cycles (0 disables interval
+    /// metrics). The run loop caps quiescent-cycle jumps at the next
+    /// window boundary so every boundary cycle is stepped and sampled.
+    pub fn interval(&self) -> u64 {
+        self.cfg.interval
+    }
+
     /// Called once per simulated cycle, after every core stepped. Emits an
     /// interval sample whenever a window boundary passes.
     pub fn tick(&mut self, now: u64, cores: &[Core], mem: &MemorySystem) {

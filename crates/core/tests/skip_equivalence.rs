@@ -1,0 +1,146 @@
+//! Cross-config equivalence suite for quiescent-cycle skipping.
+//!
+//! Skipping is a pure execution-speed device: a run with skipping enabled
+//! must be byte-identical to the same run with every cycle stepped. These
+//! tests pin that contract across the figure workloads, small and default
+//! trace sizes, uniprocessor and SMP systems, and several trace seeds, by
+//! comparing the full `Debug` rendering of the results (every counter,
+//! histogram bucket and stall-blame cell — anything the reports or
+//! fingerprints could derive from).
+
+use s64v_core::{ObserveConfig, PerformanceModel, RunOptions, SystemConfig};
+use s64v_workloads::{smp_traces, suite::tpcc_program, Suite, SuiteKind};
+
+const SEEDS: [u64; 3] = [1, 5, 11];
+
+fn no_skip() -> RunOptions {
+    RunOptions {
+        no_skip: true,
+        ..RunOptions::default()
+    }
+}
+
+fn assert_identical(label: &str, model: &PerformanceModel, trace: &s64v_trace::VecTrace) {
+    let skipped = model
+        .try_run_trace(trace, RunOptions::default())
+        .expect("clean run");
+    let stepped = model.try_run_trace(trace, no_skip()).expect("clean run");
+    assert_eq!(
+        format!("{skipped:?}"),
+        format!("{stepped:?}"),
+        "{label}: skipping changed the result"
+    );
+}
+
+#[test]
+fn uniprocessor_suites_match_across_sizes_and_seeds() {
+    let model = PerformanceModel::new(SystemConfig::sparc64_v());
+    for kind in [SuiteKind::SpecInt95, SuiteKind::SpecFp95] {
+        let suite = Suite::preset(kind);
+        for &seed in &SEEDS {
+            for len in [2_000usize, 12_000] {
+                let trace = suite.programs()[0].generate(len, seed);
+                assert_identical(&format!("{kind:?}/seed{seed}/len{len}"), &model, &trace);
+            }
+        }
+    }
+}
+
+#[test]
+fn tpcc_matches_on_up_and_smp() {
+    let up = PerformanceModel::new(SystemConfig::sparc64_v());
+    for &seed in &SEEDS {
+        let trace = tpcc_program().generate(10_000, seed);
+        assert_identical(&format!("tpcc/up/seed{seed}"), &up, &trace);
+    }
+
+    let smp = PerformanceModel::new(SystemConfig::smp(2));
+    for &seed in &SEEDS {
+        let traces = smp_traces(&tpcc_program(), 2, 6_000, seed);
+        let skipped = smp
+            .try_run_traces(&traces, RunOptions::default())
+            .expect("clean run");
+        let stepped = smp.try_run_traces(&traces, no_skip()).expect("clean run");
+        assert_eq!(
+            format!("{skipped:?}"),
+            format!("{stepped:?}"),
+            "tpcc/smp2/seed{seed}: skipping changed the result"
+        );
+    }
+}
+
+#[test]
+fn warm_runs_match() {
+    let model = PerformanceModel::new(SystemConfig::sparc64_v());
+    let suite = Suite::preset(SuiteKind::SpecInt95);
+    for &seed in &SEEDS {
+        let trace = suite.programs()[1].generate(20_000, seed);
+        let skipped = model
+            .try_run_trace_warm(&trace, 10_000, RunOptions::default())
+            .expect("clean run");
+        let stepped = model
+            .try_run_trace_warm(&trace, 10_000, no_skip())
+            .expect("clean run");
+        assert_eq!(
+            format!("{skipped:?}"),
+            format!("{stepped:?}"),
+            "warm/seed{seed}: skipping changed the result"
+        );
+    }
+}
+
+#[test]
+fn observed_runs_match_including_interval_samples() {
+    let model = PerformanceModel::new(SystemConfig::sparc64_v());
+    let trace = tpcc_program().generate(8_000, 7);
+    let ocfg = ObserveConfig::metrics_only(1_000);
+    let (r_skip, o_skip) = model
+        .try_run_traces_observed(std::slice::from_ref(&trace), RunOptions::default(), ocfg)
+        .expect("clean run");
+    let (r_step, o_step) = model
+        .try_run_traces_observed(std::slice::from_ref(&trace), no_skip(), ocfg)
+        .expect("clean run");
+    assert_eq!(format!("{r_skip:?}"), format!("{r_step:?}"));
+    assert_eq!(
+        format!("{:?}", o_skip.intervals),
+        format!("{:?}", o_step.intervals),
+        "interval windows must tile identically over skipped regions"
+    );
+}
+
+#[test]
+fn checked_runs_agree_with_skipped_plain_runs() {
+    // Checked mode force-disables skipping internally; its result must
+    // still match a plain (skipping) run — the auditor sees exactly the
+    // states the skipping path proved it could jump over.
+    let model = PerformanceModel::new(SystemConfig::sparc64_v());
+    let trace = tpcc_program().generate(8_000, 3);
+    let plain = model
+        .try_run_trace(&trace, RunOptions::default())
+        .expect("clean run");
+    let checked = model
+        .try_run_trace(&trace, RunOptions::checked())
+        .expect("no invariant fires");
+    assert_eq!(format!("{plain:?}"), format!("{checked:?}"));
+}
+
+#[test]
+fn skipping_actually_engages_on_miss_bound_workloads() {
+    // Guard against the optimization silently regressing to a no-op: on a
+    // miss-heavy TPC-C trace the wall-clock stepped-loop iterations drop
+    // when skipping is on. Iterations are not directly observable, so use
+    // the one visible proxy: identical results with materially less work,
+    // measured as elapsed time on a long trace. To keep CI stable this
+    // only asserts the *results* and that skip is on by default.
+    let model = PerformanceModel::new(SystemConfig::sparc64_v());
+    let trace = tpcc_program().generate(30_000, 7);
+    let r = model.run_trace(&trace);
+    assert_eq!(r.committed, 30_000);
+    assert!(
+        std::env::var_os("S64V_NO_SKIP").is_some() || {
+            let core = s64v_cpu::Core::new(s64v_cpu::CoreConfig::sparc64_v(), 0);
+            core.skip_enabled()
+        },
+        "skip must be on by default"
+    );
+}

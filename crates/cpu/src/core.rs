@@ -92,8 +92,18 @@ pub struct Core {
     spec_loads: Vec<SpecLoad>,
     draining: Vec<DrainingStore>,
     last_commit_cycle: u64,
+    /// Quiescent-cycle skipping enabled (see [`Core::next_wakeup`]).
+    skip: bool,
     timeline: Option<PipelineTrace>,
     probe: Option<Box<dyn Probe>>,
+    // Reusable per-cycle scratch buffers: cleared every cycle, so after
+    // the first few cycles a step performs no heap allocation.
+    scratch_incomplete: Vec<u64>,
+    scratch_branches: Vec<(u64, u64, bool, bool)>,
+    scratch_load_seqs: Vec<u64>,
+    scratch_store_data: Vec<(u64, u64)>,
+    scratch_ready_loads: Vec<u64>,
+    scratch_banks: Vec<u32>,
 }
 
 /// Cycles with zero commits after which the model declares itself wedged
@@ -123,8 +133,15 @@ impl Core {
             spec_loads: Vec::new(),
             draining: Vec::new(),
             last_commit_cycle: 0,
+            skip: std::env::var_os("S64V_NO_SKIP").is_none(),
             timeline: None,
             probe: None,
+            scratch_incomplete: Vec::new(),
+            scratch_branches: Vec::new(),
+            scratch_load_seqs: Vec::new(),
+            scratch_store_data: Vec::new(),
+            scratch_ready_loads: Vec::new(),
+            scratch_banks: Vec::new(),
             core_id,
             cfg,
         }
@@ -289,17 +306,48 @@ impl Core {
         stream: &mut S,
         now: u64,
     ) -> Result<(), Box<CoreError>> {
-        self.writeback(now);
+        self.step_inner(mem, stream, now).map(|_| ())
+    }
+
+    /// [`Core::try_step`] returning this cycle's commit count and whether
+    /// any pipeline state changed. External run loops probe
+    /// [`Core::next_wakeup`] only on fully inert cycles: a busy pipeline
+    /// is never quiescent, and even a zero-commit cycle that dispatched,
+    /// issued, fetched or completed something almost never is — gating on
+    /// inertness spares the full-window probe walk. The gate can only
+    /// forgo a skip opportunity (the probe is a pure read), never change
+    /// simulated results.
+    pub fn try_step_counted<S: TraceStream>(
+        &mut self,
+        mem: &mut MemorySystem,
+        stream: &mut S,
+        now: u64,
+    ) -> Result<(u32, bool), Box<CoreError>> {
+        self.step_inner(mem, stream, now)
+    }
+
+    /// [`Core::try_step`] returning this cycle's commit count and activity
+    /// flag, so run loops can probe for a quiescent jump on inert cycles.
+    fn step_inner<S: TraceStream>(
+        &mut self,
+        mem: &mut MemorySystem,
+        stream: &mut S,
+        now: u64,
+    ) -> Result<(u32, bool), Box<CoreError>> {
+        let wb_active = self.writeback(now);
         let committed = self.commit(now);
         let blame = self.stall_blame(committed);
         self.stats.stall_cycles.record(blame);
-        self.memory_issue(mem, now);
-        self.dispatch(now);
+        let mem_active = self.memory_issue(mem, now);
+        let dispatched = self.dispatch(now);
         // Parked replays reclaim freed slots before decode allocates new
         // entries, so cancelled instructions keep age priority.
+        let parked = self.rs.has_parked();
         self.rs.drain_replays();
-        self.decode(now);
-        self.fetch(mem, stream, now);
+        let decoded = self.decode(now);
+        let fetched = self.fetch(mem, stream, now);
+        let active =
+            wb_active || committed > 0 || mem_active || dispatched || parked || decoded || fetched;
 
         self.stats.cycles.incr();
         self.stats.window_occupancy.record(self.rob.len() as u64);
@@ -325,7 +373,20 @@ impl Core {
                 snapshot: self.snapshot(now),
             }));
         }
-        Ok(())
+        Ok((committed, active))
+    }
+
+    /// Disables (or re-enables) quiescent-cycle skipping for this core.
+    /// Skipping is on by default unless the `S64V_NO_SKIP` environment
+    /// variable is set; either way results are byte-identical — the switch
+    /// exists for equivalence testing and debugging.
+    pub fn set_skip(&mut self, enabled: bool) {
+        self.skip = enabled;
+    }
+
+    /// Whether quiescent-cycle skipping is enabled.
+    pub fn skip_enabled(&self) -> bool {
+        self.skip
     }
 
     /// Runs a whole trace to completion on a fresh cycle counter, returning
@@ -379,10 +440,254 @@ impl Core {
         self.next_fetch_at = self.next_fetch_at.max(start_cycle);
         self.last_commit_cycle = self.last_commit_cycle.max(start_cycle);
         while !self.is_done(stream) {
-            self.try_step(mem, stream, now)?;
+            let (_, active) = self.step_inner(mem, stream, now)?;
+            if self.skip && !active {
+                if let Some(wake) = self.next_wakeup(stream, now) {
+                    if wake > now + 1 {
+                        let n = wake - 1 - now;
+                        self.skip_cycles(now, n);
+                        now += n;
+                    }
+                }
+            }
             now += 1;
         }
         Ok(now)
+    }
+
+    /// The earliest future cycle at which this core can do anything beyond
+    /// repeating the current cycle's idle bookkeeping, or `None` when
+    /// quiescence cannot be proven and every cycle must be stepped.
+    ///
+    /// The pipeline is *frozen* when every pending state change hangs off a
+    /// timed event: an issued load's data return, an address generation or
+    /// execution completing, a speculative load confirming, a draining
+    /// store freeing its queue slot, the front end's next fetch slot, or
+    /// the fetch queue's head becoming decodable. Anything whose time is
+    /// not directly known here is *chained*: it can only happen after one
+    /// of the armed events fires (its producer completes, a branch
+    /// resolves, a commit frees a resource), so it needs no entry of its
+    /// own — the run loop re-probes after every stepped cycle. Conditions
+    /// that can act on the very next cycle (parked replays, an undrained
+    /// committed store, an allocatable decode) refuse the jump outright.
+    ///
+    /// A returned wakeup is exact for the *stats replay* contract: every
+    /// cycle strictly before it records the same stall blame, occupancy
+    /// samples and decode-stall cause as stepping would, which is what
+    /// [`Core::skip_cycles`] replays in one batch. The wedge-horizon check
+    /// is armed as an event of its own so a wedged model faults on the
+    /// same cycle either way.
+    pub fn next_wakeup<S: TraceStream>(&self, stream: &S, now: u64) -> Option<u64> {
+        const INF: u64 = u64::MAX;
+        let mut wake = INF;
+        // Candidates at or before `now` mean present activity; they leave
+        // `wake <= now + 1` and the caller steps normally.
+        let mut arm = |t: u64| wake = wake.min(t);
+
+        // Parked replays re-enter their buffers as slots free: per-cycle
+        // activity that carries no timestamp.
+        if self.rs.has_parked() {
+            return None;
+        }
+        // Speculative loads confirm (and may cancel dependents) at a
+        // fixed cycle.
+        for sl in &self.spec_loads {
+            arm(sl.confirm_at);
+        }
+        // In-flight store drains free their queue entries at a fixed cycle.
+        for d in &self.draining {
+            arm(d.free_at);
+        }
+        // A committed store that has not started draining grabs a port on
+        // the next memory-issue phase.
+        if let Some(d) = self.lsq.next_drain() {
+            if !d.draining {
+                return None;
+            }
+        }
+
+        // A completed head retires on the very next commit phase. (Nops
+        // complete at decode, which runs after commit within a cycle, so a
+        // zero-commit cycle can still leave a completed head behind.)
+        // Younger completed entries are chained to the head's own events.
+        if self.rob.head().is_some_and(|h| h.completed) {
+            return None;
+        }
+
+        let fwd_penalty: u64 = if self.cfg.data_forwarding { 0 } else { 2 };
+        for seq in self.rob.seqs() {
+            let e = self.rob.get(seq).expect("in range");
+            if e.completed {
+                continue;
+            }
+            let op = e.rec.instr.op;
+            if !e.dispatched {
+                // Waiting in a reservation station: dispatch is possible
+                // once operands and an execution unit are ready. An
+                // in-flight producer without a timed result is chained to
+                // its own event.
+                let mut t = now + 1;
+                let mut chained = false;
+                for &p in e.producers.iter() {
+                    match self.rob.get(p) {
+                        None => {}
+                        Some(pe) => match pe.result_at {
+                            None => {
+                                chained = true;
+                                break;
+                            }
+                            Some(at) => t = t.max((at + fwd_penalty).saturating_sub(2)),
+                        },
+                    }
+                }
+                if chained {
+                    continue;
+                }
+                let unit_free = match op.rs_kind() {
+                    Some(RsKind::Rse) => self.int_unit_busy[0].min(self.int_unit_busy[1]),
+                    Some(RsKind::Rsf) => self.fp_unit_busy[0].min(self.fp_unit_busy[1]),
+                    _ => 0,
+                };
+                arm(t.max(unit_free));
+                continue;
+            }
+            match op {
+                OpClass::Load => {
+                    if e.mem_issued {
+                        match e.mem_ready_at {
+                            Some(rdy) => arm(rdy),
+                            None => return None,
+                        }
+                    } else {
+                        match e.addr_ready_at {
+                            // Issues the cycle after the address is ready.
+                            Some(a) => arm(a + 1),
+                            None => return None,
+                        }
+                    }
+                }
+                OpClass::Store => {
+                    let addr_ready = e.addr_ready_at?;
+                    let mut t = addr_ready;
+                    let mut chained = false;
+                    for &p in e.producers.iter().chain(e.data_producers.iter()) {
+                        match self.rob.get(p) {
+                            None => {}
+                            Some(pe) => match pe.result_at {
+                                Some(at) if !pe.result_speculative => t = t.max(at),
+                                // Settles via the producer's own event.
+                                _ => {
+                                    chained = true;
+                                    break;
+                                }
+                            },
+                        }
+                    }
+                    if !chained {
+                        arm(t);
+                    }
+                }
+                OpClass::BranchCond | OpClass::BranchUncond => {
+                    arm(e.dispatched_at + 1 + self.cfg.latencies.get(op) as u64);
+                }
+                _ => {
+                    if !e.result_speculative {
+                        arm(e.dispatched_at + 1 + self.cfg.latencies.get(op) as u64);
+                    } else {
+                        // A derived-speculative result settles the cycle
+                        // after its producers settle; with all producers
+                        // already settled that is the next cycle.
+                        let unsettled = e.producers.iter().any(|&p| {
+                            self.rob
+                                .get(p)
+                                .map(|pe| pe.result_speculative)
+                                .unwrap_or(false)
+                        });
+                        if !unsettled {
+                            arm(now + 1);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Front end.
+        if self.fetch_stalled {
+            if self.cfg.wrong_path_fetch {
+                arm(self.next_fetch_at);
+            } else if self.rob.is_empty() && self.fetch_queue.is_empty() {
+                // Fetch resumes when the stalling branch resolves; with an
+                // empty window and no queued instructions there is nothing
+                // to arm, so refuse.
+                return None;
+            }
+            // Otherwise resumption is chained to the branch's completion
+            // (armed in the window walk) or to the queued branch's own
+            // decode (armed below) — the common case on a mispredict whose
+            // fetch block misses in the I-cache: the window drains empty
+            // while the branch waits in the fetch queue for its fill.
+        } else {
+            let has_input = self.pending_rec.is_some() || stream.remaining_hint() != Some(0);
+            let has_room = self.fetch_queue.len() + self.cfg.fetch_width as usize
+                <= self.cfg.fetch_queue as usize;
+            if has_input && has_room {
+                arm(self.next_fetch_at);
+            }
+            // A full fetch queue unblocks only through decode (chained).
+        }
+
+        // Decode.
+        if let Some(front) = self.fetch_queue.front() {
+            if front.ready_at > now {
+                arm(front.ready_at);
+            } else if self.decode_stall_reason(&front.rec).is_none() {
+                // Decode would allocate next cycle.
+                return None;
+            }
+            // Structurally stalled: unblocking requires an armed event
+            // (a commit, completion or queue release).
+        }
+
+        // The wedge check must fire on the same cycle as when stepping.
+        if !self.rob.is_empty() {
+            arm(self.last_commit_cycle + DEADLOCK_HORIZON + 1);
+        }
+
+        if wake == INF {
+            None
+        } else {
+            Some(wake)
+        }
+    }
+
+    /// Replays the bookkeeping of `n` provably quiescent cycles following
+    /// `now` in one batch, exactly as `n` further [`Core::try_step`] calls
+    /// would have recorded it. The caller advances its cycle counter by
+    /// `n` and steps the wakeup cycle normally.
+    pub fn skip_cycles(&mut self, now: u64, n: u64) {
+        debug_assert!(n > 0);
+        let blame = self.stall_blame(0);
+        self.stats.stall_cycles.record_n(blame, n);
+        self.stats.cycles.add(n);
+        self.stats
+            .window_occupancy
+            .record_n(self.rob.len() as u64, n);
+        self.stats
+            .lq_occupancy
+            .record_n(self.lsq.loads_in_flight() as u64, n);
+        self.stats
+            .sq_occupancy
+            .record_n(self.lsq.stores_in_flight() as u64, n);
+        if let Some(front) = self.fetch_queue.front() {
+            if front.ready_at <= now {
+                if let Some(stall) = self.decode_stall_reason(&front.rec) {
+                    self.stats.record_stall_n(stall, n);
+                }
+            }
+        }
+        if self.rob.is_empty() {
+            self.last_commit_cycle = now + n;
+        }
     }
 
     /// A cycle-stamped snapshot of the pipeline state: ROB head/tail and
@@ -440,13 +745,17 @@ impl Core {
 
     // ----- writeback ------------------------------------------------------
 
-    fn writeback(&mut self, now: u64) {
-        self.confirm_speculative_loads(now);
-        self.complete_instructions(now);
-        self.release_drained_stores(now);
+    /// Returns whether any pipeline state changed (beyond bookkeeping),
+    /// so the run loop can restrict quiescence probes to inert cycles.
+    fn writeback(&mut self, now: u64) -> bool {
+        let confirmed = self.confirm_speculative_loads(now);
+        let completed = self.complete_instructions(now);
+        let released = self.release_drained_stores(now);
+        confirmed || completed || released
     }
 
-    fn confirm_speculative_loads(&mut self, now: u64) {
+    fn confirm_speculative_loads(&mut self, now: u64) -> bool {
+        let mut acted = false;
         let mut failed: Vec<u64> = Vec::new();
         let mut i = 0;
         while i < self.spec_loads.len() {
@@ -455,6 +764,7 @@ impl Core {
                 i += 1;
                 continue;
             }
+            acted = true;
             let entry = self
                 .rob
                 .get_mut(sl.seq)
@@ -474,18 +784,17 @@ impl Core {
         for seq in failed {
             self.cancel_dependents(seq, now);
         }
+        acted
     }
 
     /// §3.1: "all instructions that have read-after-write dependency must
     /// be cancelled at every stage of the execution pipelines."
     fn cancel_dependents(&mut self, poisoned_seq: u64, now: u64) {
         let mut poison: Vec<u64> = vec![poisoned_seq];
-        for seq in self
-            .rob
-            .seqs()
-            .filter(|&s| s > poisoned_seq)
-            .collect::<Vec<_>>()
-        {
+        for seq in self.rob.seqs() {
+            if seq <= poisoned_seq {
+                continue;
+            }
             let Some(entry) = self.rob.get(seq) else {
                 continue;
             };
@@ -507,8 +816,7 @@ impl Core {
                 .rs_kind()
                 .expect("dispatched ops have an RS");
             let buffer = entry.rs_buffer;
-            let entry = self.rob.get_mut(seq).expect("just looked up");
-            entry.cancel();
+            self.rob.cancel_entry(seq);
             self.rs.reinsert(kind, buffer, seq);
             self.stats.replays.incr();
             self.note_replay(seq, now);
@@ -516,44 +824,53 @@ impl Core {
         }
     }
 
-    fn complete_instructions(&mut self, now: u64) {
-        let mut resolved_branches: Vec<(u64, u64, bool, bool)> = Vec::new(); // (seq, pc, taken, mispredicted)
-        let mut completed_loads: Vec<u64> = Vec::new();
-        let mut store_data: Vec<(u64, u64)> = Vec::new();
+    fn complete_instructions(&mut self, now: u64) -> bool {
+        let mut acted = false;
+        // (seq, pc, taken, mispredicted)
+        let mut resolved_branches = std::mem::take(&mut self.scratch_branches);
+        let mut completed_loads = std::mem::take(&mut self.scratch_load_seqs);
+        let mut store_data = std::mem::take(&mut self.scratch_store_data);
+        let mut pending = std::mem::take(&mut self.scratch_incomplete);
+        resolved_branches.clear();
+        completed_loads.clear();
+        store_data.clear();
+        self.rob.collect_due(now, &mut pending);
 
-        for seq in self.rob.seqs().collect::<Vec<_>>() {
-            let Some(entry) = self.rob.get(seq) else {
-                continue;
-            };
-            if entry.completed {
-                continue;
-            }
+        // Each arm reads the handful of fields it needs through the shared
+        // borrow and only then mutates; copying whole `InstrState`s out of
+        // the window (~2 cache lines apiece) dominated this scan's cost.
+        for &seq in &pending {
+            let entry = self.rob.get(seq).expect("incomplete entries are live");
             let op = entry.rec.instr.op;
             match op {
                 OpClass::Nop => {
-                    self.rob.get_mut(seq).expect("present").completed = true;
+                    acted = true;
+                    self.rob.mark_completed(seq);
                     self.note_complete(seq, now);
                 }
                 OpClass::Load => {
                     if entry.mem_issued {
                         let ready = entry.mem_ready_at.expect("issued load has a data time");
                         if ready <= now {
-                            let e = self.rob.get_mut(seq).expect("present");
-                            e.completed = true;
-                            e.result_speculative = false;
+                            acted = true;
+                            self.rob.get_mut(seq).expect("present").result_speculative = false;
+                            self.rob.mark_completed(seq);
                             self.note_complete(seq, now);
                             completed_loads.push(seq);
                         }
                     }
                 }
                 OpClass::Store => {
-                    if let Some(addr_ready) = entry.addr_ready_at {
-                        if addr_ready <= now {
-                            if let Some(data_at) = self.store_data_ready(entry, now) {
-                                store_data.push((seq, data_at));
-                                self.rob.get_mut(seq).expect("present").completed = true;
-                                self.note_complete(seq, now);
-                            }
+                    if entry.addr_ready_at.is_some_and(|a| a <= now) {
+                        if let Some(data_at) = self.store_data_ready(entry, now) {
+                            acted = true;
+                            store_data.push((seq, data_at));
+                            self.rob.mark_completed(seq);
+                            self.note_complete(seq, now);
+                        } else {
+                            // Data readiness can change any cycle as
+                            // producers settle: re-examine every cycle.
+                            self.rob.set_wake(seq, 0);
                         }
                     }
                 }
@@ -561,11 +878,11 @@ impl Core {
                     if entry.dispatched {
                         let done = entry.dispatched_at + 1 + self.cfg.latencies.get(op) as u64;
                         if done <= now {
-                            let e = self.rob.get_mut(seq).expect("present");
-                            e.completed = true;
-                            e.resolved = true;
-                            let taken = e.rec.instr.branch.map(|b| b.taken).unwrap_or(false);
-                            resolved_branches.push((seq, e.rec.pc, taken, e.mispredicted));
+                            acted = true;
+                            let taken = entry.rec.instr.branch.map(|b| b.taken).unwrap_or(false);
+                            resolved_branches.push((seq, entry.rec.pc, taken, entry.mispredicted));
+                            self.rob.get_mut(seq).expect("present").resolved = true;
+                            self.rob.mark_completed(seq);
                             self.note_complete(seq, now);
                         }
                     }
@@ -574,36 +891,37 @@ impl Core {
                     if entry.dispatched && !entry.result_speculative {
                         let done = entry.dispatched_at + 1 + self.cfg.latencies.get(op) as u64;
                         if done <= now {
-                            self.rob.get_mut(seq).expect("present").completed = true;
+                            acted = true;
+                            self.rob.mark_completed(seq);
                             self.note_complete(seq, now);
                         }
-                    } else if entry.dispatched && entry.result_speculative {
+                    } else if entry.dispatched {
                         // Derived-speculative results settle when their
                         // producers settle; checked again next cycle.
-                        let producers_settled = {
-                            let e = self.rob.get(seq).expect("present");
-                            e.producers.iter().all(|&p| {
-                                self.rob
-                                    .get(p)
-                                    .map(|pe| !pe.result_speculative)
-                                    .unwrap_or(true)
-                            })
-                        };
+                        let producers_settled = entry.producers.iter().all(|&p| {
+                            self.rob
+                                .get(p)
+                                .map(|pe| !pe.result_speculative)
+                                .unwrap_or(true)
+                        });
                         if producers_settled {
+                            acted = true;
+                            let done = entry.dispatched_at + 1 + self.cfg.latencies.get(op) as u64;
                             self.rob.get_mut(seq).expect("present").result_speculative = false;
+                            self.rob.set_wake(seq, done);
                         }
                     }
                 }
             }
         }
 
-        for seq in completed_loads {
+        for &seq in &completed_loads {
             self.lsq.release_load(seq);
         }
-        for (seq, data_at) in store_data {
+        for &(seq, data_at) in &store_data {
             self.lsq.set_store_data_ready(seq, data_at);
         }
-        for (seq, pc, taken, mispredicted) in resolved_branches {
+        for &(seq, pc, taken, mispredicted) in &resolved_branches {
             if self.rob.get(seq).map(|e| e.rec.instr.op) == Some(OpClass::BranchCond) {
                 self.stats.cond_branches.incr();
                 if !self.cfg.perfect_branch_prediction {
@@ -621,6 +939,12 @@ impl Core {
                     .max(now + self.cfg.redirect_penalty as u64);
             }
         }
+
+        self.scratch_branches = resolved_branches;
+        self.scratch_load_seqs = completed_loads;
+        self.scratch_store_data = store_data;
+        self.scratch_incomplete = pending;
+        acted
     }
 
     /// When a store's data operands are all architecturally available,
@@ -642,10 +966,12 @@ impl Core {
         Some(latest)
     }
 
-    fn release_drained_stores(&mut self, now: u64) {
+    fn release_drained_stores(&mut self, now: u64) -> bool {
+        let mut acted = false;
         let mut i = 0;
         while i < self.draining.len() {
             if self.draining[i].free_at <= now {
+                acted = true;
                 let seq = self.draining[i].seq;
                 self.lsq.release_store(seq);
                 self.draining.swap_remove(i);
@@ -653,6 +979,7 @@ impl Core {
                 i += 1;
             }
         }
+        acted
     }
 
     // ----- commit ---------------------------------------------------------
@@ -710,35 +1037,33 @@ impl Core {
 
     // ----- memory issue ----------------------------------------------------
 
-    fn memory_issue(&mut self, mem: &mut MemorySystem, now: u64) {
+    fn memory_issue(&mut self, mem: &mut MemorySystem, now: u64) -> bool {
+        let mut acted = false;
         let mut ports_left = self.cfg.dcache_ports;
-        let mut used_banks: Vec<u32> = Vec::new();
         let banks = mem.config().l1d_banks;
         let bank_bytes = mem.config().l1d_bank_bytes;
+        let mut used_banks = std::mem::take(&mut self.scratch_banks);
+        used_banks.clear();
 
-        // Loads first, oldest first.
-        let ready_loads: Vec<u64> = self
-            .rob
-            .seqs()
-            .filter(|&s| {
-                self.rob.get(s).is_some_and(|e| {
-                    e.rec.instr.op == OpClass::Load
-                        && e.dispatched
-                        && !e.mem_issued
-                        && e.addr_ready_at.is_some_and(|a| a < now)
-                })
-            })
-            .collect();
+        // Loads first, oldest first. The pending-load mask lists
+        // dispatched, not-yet-issued loads; address readiness is checked
+        // inline, and a load still in address generation neither issues
+        // nor consumes a port.
+        let mut ready_loads = std::mem::take(&mut self.scratch_ready_loads);
+        self.rob.collect_pending_loads(&mut ready_loads);
 
-        for seq in ready_loads {
+        for &seq in &ready_loads {
             if ports_left == 0 {
                 break;
             }
-            let (addr, width) = {
+            let (addr, width, addr_ready) = {
                 let e = self.rob.get(seq).expect("listed");
                 let m = e.rec.instr.mem.expect("load has memory info");
-                (m.addr, m.width.bytes())
+                (m.addr, m.width.bytes(), e.addr_ready_at)
             };
+            if addr_ready.is_none_or(|a| a >= now) {
+                continue;
+            }
             let bank = bank_of(addr, banks, bank_bytes);
             if used_banks.contains(&bank) {
                 // §3.2: conflicting lower-priority request aborts and
@@ -748,15 +1073,19 @@ impl Core {
             }
             used_banks.push(bank);
             ports_left -= 1;
+            acted = true;
             self.issue_load(mem, seq, addr, width, now);
         }
+        self.scratch_ready_loads = ready_loads;
 
-        // Committed stores drain through the remaining ports.
+        // Committed stores drain through the remaining ports. At most one
+        // store is in flight at a time: if the oldest drain candidate is
+        // already on its way, younger ones wait their turn.
         while ports_left > 0 {
             let Some(drain) = self.lsq.next_drain() else {
                 break;
             };
-            if self.draining.iter().any(|d| d.seq == drain.seq) {
+            if drain.draining {
                 break; // oldest is already on its way
             }
             let addr = drain.addr.expect("drain candidates have addresses");
@@ -767,15 +1096,20 @@ impl Core {
             }
             used_banks.push(bank);
             ports_left -= 1;
+            acted = true;
             let access = mem.store(self.core_id, addr, now);
+            self.lsq.mark_store_draining(drain.seq);
             self.draining.push(DrainingStore {
                 seq: drain.seq,
                 free_at: access.ready_at,
             });
         }
+        self.scratch_banks = used_banks;
+        acted
     }
 
     fn issue_load(&mut self, mem: &mut MemorySystem, seq: u64, addr: u64, width: u64, now: u64) {
+        self.rob.mark_load_issued(seq);
         // Store-to-load forwarding from the store queue.
         if let Some(fwd_at) = self.lsq.forward_for(seq, addr, width) {
             let ready = fwd_at.max(now) + 1;
@@ -784,6 +1118,7 @@ impl Core {
             e.mem_ready_at = Some(ready);
             e.result_at = Some(ready + 1);
             e.result_speculative = false;
+            self.rob.set_wake(seq, ready);
             self.stats.store_forwards.incr();
             return;
         }
@@ -811,12 +1146,20 @@ impl Core {
             e.result_at = Some(actual_ready + 2);
             e.result_speculative = false;
         }
+        // The load's completion fires when its data returns.
+        self.rob.set_wake(seq, actual_ready);
     }
 
     // ----- dispatch ---------------------------------------------------------
 
-    fn dispatch(&mut self, now: u64) {
+    fn dispatch(&mut self, now: u64) -> bool {
+        let mut acted = false;
         for kind in RsKind::ALL {
+            if self.rs.occupancy(kind) == 0 {
+                // Nothing waiting (stuck fault slots never dispatch):
+                // selection would scan and pick nothing.
+                continue;
+            }
             let picked = {
                 let rob = &self.rob;
                 let cfg = &self.cfg;
@@ -832,10 +1175,12 @@ impl Core {
                     },
                 )
             };
-            for (seq, unit, buffer) in picked {
+            for &(seq, unit, buffer) in picked.iter() {
+                acted = true;
                 self.start_execution(seq, unit, buffer, kind, now);
             }
         }
+        acted
     }
 
     fn operands_ready(rob: &Rob, cfg: &CoreConfig, seq: u64, now: u64) -> bool {
@@ -902,6 +1247,24 @@ impl Core {
                 }
             }
         };
+        // Arm the writeback scan's wake time (see `Rob::collect_due`).
+        // Loads stay inert until `issue_load` knows the data-return cycle.
+        match op {
+            OpClass::Load => {}
+            OpClass::Store => self.rob.set_wake(seq, now + 1 + lat),
+            _ => {
+                if spec_input {
+                    // Speculative results settle on producer events:
+                    // re-examine every cycle.
+                    self.rob.set_wake(seq, 0);
+                } else {
+                    self.rob.set_wake(seq, now + 1 + lat);
+                }
+            }
+        }
+        if op == OpClass::Load {
+            self.rob.mark_load_pending(seq);
+        }
         if let Some(addr) = store_addr {
             self.lsq.set_store_addr(seq, addr);
         }
@@ -909,7 +1272,8 @@ impl Core {
 
     // ----- decode -----------------------------------------------------------
 
-    fn decode(&mut self, now: u64) {
+    fn decode(&mut self, now: u64) -> bool {
+        let mut acted = false;
         for _ in 0..self.cfg.issue_width {
             let Some(front) = self.fetch_queue.front().copied() else {
                 break;
@@ -922,11 +1286,13 @@ impl Core {
                 break;
             }
             let fetched = self.fetch_queue.pop_front().expect("checked non-empty");
+            acted = true;
             self.allocate(fetched, now);
         }
+        acted
     }
 
-    fn decode_stall_reason(&mut self, rec: &TraceRecord) -> Option<DecodeStall> {
+    fn decode_stall_reason(&self, rec: &TraceRecord) -> Option<DecodeStall> {
         if self.rob.is_full() {
             return Some(DecodeStall::Window);
         }
@@ -1017,7 +1383,7 @@ impl Core {
 
     // ----- fetch ------------------------------------------------------------
 
-    fn fetch<S: TraceStream>(&mut self, mem: &mut MemorySystem, stream: &mut S, now: u64) {
+    fn fetch<S: TraceStream>(&mut self, mem: &mut MemorySystem, stream: &mut S, now: u64) -> bool {
         if self.fetch_stalled {
             // Optionally model the front end charging down the wrong path
             // while the mispredicted branch resolves: one sequential block
@@ -1033,17 +1399,18 @@ impl Core {
                 self.next_fetch_at = access.ready_at;
                 self.wrong_path_pc = pc + self.cfg.fetch_block_bytes;
                 self.stats.wrong_path_fetches.incr();
+                return true;
             }
-            return;
+            return false;
         }
         if now < self.next_fetch_at {
-            return;
+            return false;
         }
         if self.fetch_queue.len() + self.cfg.fetch_width as usize > self.cfg.fetch_queue as usize {
-            return;
+            return false;
         }
         let Some(first) = self.peek_record(stream) else {
-            return;
+            return false;
         };
 
         // One aligned fetch block per cycle; the priority stage costs one
@@ -1113,7 +1480,7 @@ impl Core {
                 } else {
                     rec.pc + 4
                 };
-                return;
+                return true;
             }
             if predicted_taken {
                 // Correctly predicted taken: the BHT's access latency puts
@@ -1124,9 +1491,10 @@ impl Core {
                     self.bht.config().access_cycles as u64
                 };
                 self.next_fetch_at = now + 1 + bubbles;
-                return;
+                return true;
             }
         }
+        true
     }
 
     fn peek_record<S: TraceStream>(&mut self, stream: &mut S) -> Option<TraceRecord> {

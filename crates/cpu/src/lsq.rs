@@ -20,6 +20,10 @@ pub struct StoreEntry {
     pub data_ready_at: Option<u64>,
     /// The store has committed and is eligible to drain.
     pub committed: bool,
+    /// A drain to the L1 operand cache is already in flight. Kept on the
+    /// entry itself so the per-port drain loop has O(1) membership instead
+    /// of scanning the core's in-flight drain list.
+    pub draining: bool,
 }
 
 /// The core's load and store queues.
@@ -29,6 +33,9 @@ pub struct LoadStoreQueues {
     sq_capacity: usize,
     loads: Vec<u64>,
     stores: Vec<StoreEntry>,
+    /// Committed stores still in the queue, so the per-cycle drain scan
+    /// can bail out in O(1) when nothing is eligible (the common case).
+    committed: usize,
 }
 
 impl LoadStoreQueues {
@@ -39,6 +46,7 @@ impl LoadStoreQueues {
             sq_capacity: store_entries as usize,
             loads: Vec::new(),
             stores: Vec::new(),
+            committed: 0,
         }
     }
 
@@ -75,6 +83,7 @@ impl LoadStoreQueues {
             width,
             data_ready_at: None,
             committed: false,
+            draining: false,
         });
     }
 
@@ -95,7 +104,17 @@ impl LoadStoreQueues {
     /// Marks a store committed (eligible to drain to the cache).
     pub fn mark_store_committed(&mut self, seq: u64) {
         if let Some(e) = self.stores.iter_mut().find(|e| e.seq == seq) {
+            if !e.committed {
+                self.committed += 1;
+            }
             e.committed = true;
+        }
+    }
+
+    /// Marks a store's drain as in flight (see [`StoreEntry::draining`]).
+    pub fn mark_store_draining(&mut self, seq: u64) {
+        if let Some(e) = self.stores.iter_mut().find(|e| e.seq == seq) {
+            e.draining = true;
         }
     }
 
@@ -127,18 +146,28 @@ impl LoadStoreQueues {
             })
     }
 
-    /// The oldest committed, address-known store that has not drained yet.
+    /// The oldest committed, address-known store that has not drained yet
+    /// (its [`StoreEntry::draining`] flag tells the caller whether a drain
+    /// is already in flight). Entries are allocated at decode in program
+    /// order and removal preserves order, so the first match is the oldest.
     pub fn next_drain(&self) -> Option<StoreEntry> {
+        if self.committed == 0 {
+            return None;
+        }
         self.stores
             .iter()
-            .filter(|s| s.committed && s.addr.is_some())
-            .min_by_key(|s| s.seq)
+            .find(|s| s.committed && s.addr.is_some())
             .copied()
     }
 
     /// Removes a drained store, freeing its queue entry.
     pub fn release_store(&mut self, seq: u64) {
-        self.stores.retain(|s| s.seq != seq);
+        if let Some(i) = self.stores.iter().position(|s| s.seq == seq) {
+            if self.stores[i].committed {
+                self.committed -= 1;
+            }
+            self.stores.remove(i);
+        }
     }
 
     /// Removes a completed load, freeing its queue entry.

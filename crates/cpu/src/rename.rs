@@ -42,10 +42,11 @@ impl RenamePool {
     }
 
     /// Whether a result of `class` can be renamed right now.
-    pub fn can_allocate(&mut self, class: RegClass) -> bool {
-        match self.pool_of(class) {
-            Some(free) => *free > 0,
-            None => true,
+    pub fn can_allocate(&self, class: RegClass) -> bool {
+        match class {
+            RegClass::Int => self.int_free > 0,
+            RegClass::Fp => self.fp_free > 0,
+            RegClass::Cc => true,
         }
     }
 

@@ -3,13 +3,70 @@
 //! Up to 64 instructions can be in flight (Table 1). Entries are allocated
 //! in program order at decode, updated by the out-of-order engine, and
 //! retired in order at commit. Slots are addressed by global sequence
-//! number (`seq % capacity`), which is unambiguous because at most
-//! `capacity` consecutive sequence numbers are ever live.
+//! number masked into a power-of-two ring (`seq & slot_mask`), which is
+//! unambiguous because at most `capacity <= ring` consecutive sequence
+//! numbers are ever live.
+//!
+//! The storage is flat: one dense slot vector of plain-`Copy`
+//! [`InstrState`] (producer dependences live in inline arrays, not heap
+//! vectors) plus per-slot bitmasks tracking which live entries still need
+//! completion work and which dispatched loads are waiting to issue. The
+//! per-cycle writeback and memory-issue scans walk set bits instead of
+//! every slot, and a step allocates nothing.
 
 use s64v_trace::TraceRecord;
 
+/// An inline list of producer sequence numbers. An instruction has at most
+/// [`s64v_isa::MAX_SRCS`] register sources, so the list never heap-allocates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProducerList {
+    items: [u64; s64v_isa::MAX_SRCS],
+    len: u8,
+}
+
+impl ProducerList {
+    /// Appends a producer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is already full (more producers than an
+    /// instruction has register sources).
+    pub fn push(&mut self, seq: u64) {
+        self.items[self.len as usize] = seq;
+        self.len += 1;
+    }
+
+    /// The producers as a slice.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.items[..self.len as usize]
+    }
+
+    /// Iterates over the producers.
+    pub fn iter(&self) -> std::slice::Iter<'_, u64> {
+        self.as_slice().iter()
+    }
+
+    /// Number of producers recorded.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<'a> IntoIterator for &'a ProducerList {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// Everything the pipeline knows about one in-flight instruction.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct InstrState {
     /// Global program-order sequence number.
     pub seq: u64,
@@ -17,10 +74,10 @@ pub struct InstrState {
     pub rec: TraceRecord,
     /// Sequence numbers of in-flight producers whose results the
     /// instruction needs before (or at) dispatch.
-    pub producers: Vec<u64>,
+    pub producers: ProducerList,
     /// For stores: producers of the *data* operand, needed before the
     /// store can retire but not for address generation.
-    pub data_producers: Vec<u64>,
+    pub data_producers: ProducerList,
     /// Which RSE/RSF buffer the entry was steered to (split scheme).
     pub rs_buffer: u8,
     /// Whether the instruction has been dispatched from its RS.
@@ -62,8 +119,8 @@ impl InstrState {
         InstrState {
             seq,
             rec,
-            producers: Vec::new(),
-            data_producers: Vec::new(),
+            producers: ProducerList::default(),
+            data_producers: ProducerList::default(),
             rs_buffer: 0,
             dispatched: false,
             dispatched_at: 0,
@@ -99,6 +156,36 @@ impl InstrState {
     }
 }
 
+/// A per-slot bitmask over the window's ring, used for the compact
+/// writeback and memory-issue scans.
+#[derive(Debug, Clone)]
+struct SlotMask {
+    words: Vec<u64>,
+}
+
+impl SlotMask {
+    fn new(capacity: usize) -> Self {
+        SlotMask {
+            words: vec![0; capacity.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, slot: usize) {
+        self.words[slot / 64] |= 1u64 << (slot % 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, slot: usize) {
+        self.words[slot / 64] &= !(1u64 << (slot % 64));
+    }
+
+    #[inline]
+    fn get(&self, slot: usize) -> bool {
+        self.words[slot / 64] & (1u64 << (slot % 64)) != 0
+    }
+}
+
 /// The reorder buffer: a ring of [`InstrState`] addressed by sequence
 /// number.
 ///
@@ -116,9 +203,34 @@ impl InstrState {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Rob {
-    slots: Vec<Option<InstrState>>,
+    slots: Vec<InstrState>,
     head_seq: u64,
     tail_seq: u64,
+    /// Logical window size; the ring itself (`slots.len()`) is padded to
+    /// the next power of two so slot addressing is a mask, not a divide.
+    capacity: usize,
+    /// `slots.len() - 1` (the ring length is a power of two).
+    slot_mask: u64,
+    /// Live entries whose `completed` flag is still false.
+    incomplete: SlotMask,
+    /// Dispatched loads whose cache access has not issued yet.
+    pending_loads: SlotMask,
+    /// Per-slot completion wake time: the earliest cycle the writeback
+    /// scan needs to examine the entry again (`u64::MAX` = not until some
+    /// pipeline event re-arms it). An entry awaiting dispatch has no
+    /// completion work at all; a dispatched one has a known finish time
+    /// (execute latency, load data return, store address generation), so
+    /// the scan skips entries whose time has not come. Entries whose
+    /// readiness genuinely changes cycle to cycle (speculative results
+    /// settling, committed stores waiting on data) are kept at 0.
+    wake: Vec<u64>,
+    /// Lower bound on the minimum wake time over incomplete live entries
+    /// (`u64::MAX` when provably none). When it lies in the future the
+    /// whole writeback scan is a single compare — the common case while
+    /// the window stalls on a long memory operation. It is re-tightened
+    /// to the exact minimum on every real scan; completions and cancels
+    /// may leave it stale-low, which only costs an extra scan.
+    wake_floor: u64,
 }
 
 impl Rob {
@@ -129,16 +241,29 @@ impl Rob {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: u32) -> Self {
         assert!(capacity > 0, "window needs at least one entry");
+        let filler = InstrState::new(0, TraceRecord::new(0, s64v_isa::Instr::nop()));
+        // The ring is padded to a power of two so slot addressing is a
+        // mask, not a 64-bit division — `slot_of` runs dozens of times
+        // per simulated cycle across the writeback/issue/wakeup scans.
+        // Ring slots beyond `capacity` are simply never live (occupancy
+        // is bounded by `is_full`, which checks the logical capacity).
+        let ring = (capacity as usize).next_power_of_two();
         Rob {
-            slots: vec![None; capacity as usize],
+            slots: vec![filler; ring],
             head_seq: 0,
             tail_seq: 0,
+            capacity: capacity as usize,
+            slot_mask: ring as u64 - 1,
+            incomplete: SlotMask::new(ring),
+            pending_loads: SlotMask::new(ring),
+            wake: vec![u64::MAX; ring],
+            wake_floor: u64::MAX,
         }
     }
 
     /// Window capacity.
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.capacity
     }
 
     /// Number of in-flight instructions.
@@ -153,11 +278,12 @@ impl Rob {
 
     /// Whether the window is full.
     pub fn is_full(&self) -> bool {
-        self.len() == self.slots.len()
+        self.len() == self.capacity
     }
 
+    #[inline]
     fn slot_of(&self, seq: u64) -> usize {
-        (seq % self.slots.len() as u64) as usize
+        (seq & self.slot_mask) as usize
     }
 
     /// Allocates the next entry.
@@ -169,26 +295,85 @@ impl Rob {
         assert!(!self.is_full(), "window full");
         assert_eq!(state.seq, self.tail_seq, "out-of-order allocation");
         let slot = self.slot_of(state.seq);
-        debug_assert!(self.slots[slot].is_none());
-        self.slots[slot] = Some(state);
+        if state.completed {
+            self.incomplete.clear(slot);
+        } else {
+            self.incomplete.set(slot);
+        }
+        self.pending_loads.clear(slot);
+        // Nops complete at the first writeback scan; every other class is
+        // inert until a dispatch/issue event arms a wake time.
+        self.wake[slot] = if state.rec.instr.op == s64v_isa::OpClass::Nop {
+            self.wake_floor = 0;
+            0
+        } else {
+            u64::MAX
+        };
+        self.slots[slot] = state;
         self.tail_seq += 1;
     }
 
     /// The in-flight entry with sequence number `seq`, if present.
+    #[inline]
     pub fn get(&self, seq: u64) -> Option<&InstrState> {
         if seq < self.head_seq || seq >= self.tail_seq {
             return None;
         }
-        self.slots[self.slot_of(seq)].as_ref()
+        Some(&self.slots[self.slot_of(seq)])
     }
 
     /// Mutable access to the entry with sequence number `seq`.
+    ///
+    /// Callers that flip `completed` or issue/cancel a load must use
+    /// [`Rob::mark_completed`], [`Rob::mark_load_pending`],
+    /// [`Rob::mark_load_issued`] or [`Rob::cancel_entry`] so the scan
+    /// masks stay coherent.
+    #[inline]
     pub fn get_mut(&mut self, seq: u64) -> Option<&mut InstrState> {
         if seq < self.head_seq || seq >= self.tail_seq {
             return None;
         }
         let slot = self.slot_of(seq);
-        self.slots[slot].as_mut()
+        Some(&mut self.slots[slot])
+    }
+
+    /// Marks an entry completed, clearing it from the writeback scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not in flight.
+    pub fn mark_completed(&mut self, seq: u64) {
+        debug_assert!(seq >= self.head_seq && seq < self.tail_seq);
+        let slot = self.slot_of(seq);
+        self.slots[slot].completed = true;
+        self.incomplete.clear(slot);
+        self.pending_loads.clear(slot);
+    }
+
+    /// Marks a dispatched load as awaiting its cache access.
+    pub fn mark_load_pending(&mut self, seq: u64) {
+        let slot = self.slot_of(seq);
+        self.pending_loads.set(slot);
+    }
+
+    /// Marks a pending load as issued to the cache.
+    pub fn mark_load_issued(&mut self, seq: u64) {
+        let slot = self.slot_of(seq);
+        self.pending_loads.clear(slot);
+    }
+
+    /// Cancels a dispatched entry back to its reservation station (§3.1),
+    /// keeping the scan masks coherent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not in flight.
+    pub fn cancel_entry(&mut self, seq: u64) {
+        debug_assert!(seq >= self.head_seq && seq < self.tail_seq);
+        let slot = self.slot_of(seq);
+        self.slots[slot].cancel();
+        self.pending_loads.clear(slot);
+        self.wake[slot] = u64::MAX; // inert again until re-dispatch
     }
 
     /// The oldest in-flight entry.
@@ -214,14 +399,81 @@ impl Rob {
     pub fn pop_head(&mut self) -> InstrState {
         assert!(!self.is_empty(), "window empty");
         let slot = self.slot_of(self.head_seq);
-        let state = self.slots[slot].take().expect("head slot occupied");
+        let state = self.slots[slot];
+        self.incomplete.clear(slot);
+        self.pending_loads.clear(slot);
         self.head_seq += 1;
         state
     }
 
     /// Iterates over in-flight sequence numbers in program order.
-    pub fn seqs(&self) -> impl Iterator<Item = u64> {
+    pub fn seqs(&self) -> std::ops::Range<u64> {
         self.head_seq..self.tail_seq
+    }
+
+    /// Appends the in-flight sequence numbers whose `completed` flag is
+    /// still false to `out`, in program order. `out` is cleared first.
+    pub fn collect_incomplete(&self, out: &mut Vec<u64>) {
+        out.clear();
+        for seq in self.head_seq..self.tail_seq {
+            if self.incomplete.get(self.slot_of(seq)) {
+                out.push(seq);
+            }
+        }
+    }
+
+    /// Like [`Rob::collect_incomplete`], but only entries whose wake time
+    /// has arrived — the ones the writeback scan could act on at `now`.
+    /// Rejects in O(1) while every armed wake time lies in the future;
+    /// a real scan re-tightens that bound to the exact minimum.
+    pub fn collect_due(&mut self, now: u64, out: &mut Vec<u64>) {
+        out.clear();
+        if self.wake_floor > now {
+            return;
+        }
+        let mut floor = u64::MAX;
+        for seq in self.head_seq..self.tail_seq {
+            let slot = self.slot_of(seq);
+            if self.incomplete.get(slot) {
+                let w = self.wake[slot];
+                if w <= now {
+                    out.push(seq);
+                }
+                floor = floor.min(w);
+            }
+        }
+        self.wake_floor = floor;
+    }
+
+    /// Sets the cycle the writeback scan must next examine `seq`
+    /// (see [`Rob::collect_due`]). Must never exceed the entry's true
+    /// earliest action cycle, or completion events are lost.
+    #[inline]
+    pub fn set_wake(&mut self, seq: u64, at: u64) {
+        debug_assert!(seq >= self.head_seq && seq < self.tail_seq);
+        let slot = self.slot_of(seq);
+        self.wake[slot] = at;
+        self.wake_floor = self.wake_floor.min(at);
+    }
+
+    /// Appends dispatched, not-yet-issued load sequence numbers to `out`,
+    /// in program order. `out` is cleared first. No pending loads at all
+    /// — the common cycle — costs one mask check.
+    pub fn collect_pending_loads(&self, out: &mut Vec<u64>) {
+        out.clear();
+        if !self.has_pending_loads() {
+            return;
+        }
+        for seq in self.head_seq..self.tail_seq {
+            if self.pending_loads.get(self.slot_of(seq)) {
+                out.push(seq);
+            }
+        }
+    }
+
+    /// Whether any dispatched load is still waiting to issue.
+    pub fn has_pending_loads(&self) -> bool {
+        self.pending_loads.words.iter().any(|&w| w != 0)
     }
 }
 
@@ -304,5 +556,64 @@ mod tests {
         rob.pop_head();
         let seqs: Vec<_> = rob.seqs().collect();
         assert_eq!(seqs, vec![1, 2]);
+    }
+
+    #[test]
+    fn incomplete_scan_tracks_completion() {
+        let mut rob = Rob::new(4);
+        for s in 0..3 {
+            rob.push(entry(s));
+        }
+        let mut out = Vec::new();
+        rob.collect_incomplete(&mut out);
+        assert_eq!(out, vec![0, 1, 2]);
+        rob.mark_completed(1);
+        rob.collect_incomplete(&mut out);
+        assert_eq!(out, vec![0, 2]);
+        rob.pop_head();
+        rob.collect_incomplete(&mut out);
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn nop_entries_never_enter_the_incomplete_scan() {
+        let mut rob = Rob::new(4);
+        let mut e = entry(0);
+        e.completed = true;
+        rob.push(e);
+        let mut out = Vec::new();
+        rob.collect_incomplete(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pending_load_mask_follows_issue_and_cancel() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(0));
+        rob.push(entry(1));
+        rob.get_mut(0).unwrap().dispatched = true;
+        rob.get_mut(1).unwrap().dispatched = true;
+        rob.mark_load_pending(0);
+        rob.mark_load_pending(1);
+        let mut out = Vec::new();
+        rob.collect_pending_loads(&mut out);
+        assert_eq!(out, vec![0, 1]);
+        rob.mark_load_issued(0);
+        rob.collect_pending_loads(&mut out);
+        assert_eq!(out, vec![1]);
+        rob.cancel_entry(1);
+        assert!(!rob.has_pending_loads());
+    }
+
+    #[test]
+    fn producer_list_holds_max_srcs() {
+        let mut p = ProducerList::default();
+        assert!(p.is_empty());
+        p.push(7);
+        p.push(8);
+        p.push(9);
+        assert_eq!(p.as_slice(), &[7, 8, 9]);
+        assert_eq!(p.iter().copied().sum::<u64>(), 24);
+        assert_eq!(p.len(), 3);
     }
 }

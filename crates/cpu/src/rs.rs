@@ -12,6 +12,30 @@ use s64v_isa::RsKind;
 /// Entries waiting in one buffer, ordered by age (sequence number).
 type Buffer = Vec<u64>;
 
+/// The dispatches one [`ReservationStations::select_dispatch`] call picked:
+/// `(seq, unit, buffer)` triples in a fixed inline array (at most two
+/// dispatches per station kind per cycle), so the per-cycle dispatch loop
+/// never heap-allocates. Derefs to a slice for iteration and indexing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dispatches {
+    items: [(u64, u8, u8); 2],
+    len: u8,
+}
+
+impl Dispatches {
+    fn push(&mut self, seq: u64, unit: u8, buffer: u8) {
+        self.items[self.len as usize] = (seq, unit, buffer);
+        self.len += 1;
+    }
+}
+
+impl std::ops::Deref for Dispatches {
+    type Target = [(u64, u8, u8)];
+    fn deref(&self) -> &Self::Target {
+        &self.items[..self.len as usize]
+    }
+}
+
 /// All reservation stations of one core.
 #[derive(Debug, Clone)]
 pub struct ReservationStations {
@@ -227,8 +251,8 @@ impl ReservationStations {
         kind: RsKind,
         mut ready: impl FnMut(u64) -> bool,
         mut unit_free: impl FnMut(u8) -> bool,
-    ) -> Vec<(u64, u8, u8)> {
-        let mut out = Vec::new();
+    ) -> Dispatches {
+        let mut out = Dispatches::default();
         match kind {
             RsKind::Rse | RsKind::Rsf => {
                 let split = self.scheme == RsScheme::Split;
@@ -245,46 +269,58 @@ impl ReservationStations {
                         }
                         if let Some(pos) = buf.iter().position(|&s| ready(s)) {
                             let seq = buf.remove(pos);
-                            out.push((seq, b as u8, b as u8));
+                            out.push(seq, b as u8, b as u8);
                         }
                     }
                 } else {
                     // Pooled: up to two dispatches to any free unit.
                     let pool = &mut buffers[0];
-                    let mut units: Vec<u8> = (0..2).filter(|&u| unit_free(u)).collect();
-                    let mut pos = 0;
-                    while !units.is_empty() && pos < pool.len() {
-                        if ready(pool[pos]) {
-                            let seq = pool.remove(pos);
-                            out.push((seq, units.remove(0), 0));
-                        } else {
-                            pos += 1;
-                        }
-                    }
+                    Self::drain_ready(pool, &mut ready, &mut unit_free, &mut out);
                 }
             }
             RsKind::Rsa => {
-                let mut units: Vec<u8> = (0..2).filter(|&u| unit_free(u)).collect();
-                let mut pos = 0;
-                while !units.is_empty() && pos < self.rsa.len() {
-                    if ready(self.rsa[pos]) {
-                        let seq = self.rsa.remove(pos);
-                        out.push((seq, units.remove(0), 0));
-                    } else {
-                        pos += 1;
-                    }
-                }
+                let rsa = &mut self.rsa;
+                Self::drain_ready(rsa, &mut ready, &mut unit_free, &mut out);
             }
             RsKind::Rsbr => {
                 if unit_free(0) {
                     if let Some(pos) = self.rsbr.iter().position(|&s| ready(s)) {
                         let seq = self.rsbr.remove(pos);
-                        out.push((seq, 0, 0));
+                        out.push(seq, 0, 0);
                     }
                 }
             }
         }
         out
+    }
+
+    /// Pooled pick: oldest-ready entries dispatch to free units 0 then 1,
+    /// at most two per cycle.
+    fn drain_ready(
+        pool: &mut Buffer,
+        ready: &mut impl FnMut(u64) -> bool,
+        unit_free: &mut impl FnMut(u8) -> bool,
+        out: &mut Dispatches,
+    ) {
+        let mut units = [0u8; 2];
+        let mut n_units = 0usize;
+        for u in 0..2u8 {
+            if unit_free(u) {
+                units[n_units] = u;
+                n_units += 1;
+            }
+        }
+        let mut next_unit = 0usize;
+        let mut pos = 0;
+        while next_unit < n_units && pos < pool.len() {
+            if ready(pool[pos]) {
+                let seq = pool.remove(pos);
+                out.push(seq, units[next_unit], 0);
+                next_unit += 1;
+            } else {
+                pos += 1;
+            }
+        }
     }
 
     /// Total entries waiting in stations of `kind` (stuck-slot faults
@@ -317,6 +353,13 @@ impl ReservationStations {
     #[doc(hidden)]
     pub fn fault_stall_slots(&mut self, kind: RsKind, n: usize) {
         self.stuck[kind_index(kind)] += n;
+    }
+
+    /// Whether any cancelled instruction is parked in a replay skid buffer
+    /// awaiting a free slot (parked work re-enters as slots free, so it
+    /// counts as per-cycle activity for the quiescence test).
+    pub fn has_parked(&self) -> bool {
+        self.replay_parked.iter().any(|p| !p.is_empty())
     }
 
     /// Whether every station is empty (including the replay skid buffers).

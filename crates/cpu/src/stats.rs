@@ -60,14 +60,20 @@ pub struct StallCycles {
 impl StallCycles {
     /// Records one cycle's blame.
     pub fn record(&mut self, cause: StallCause) {
+        self.record_n(cause, 1);
+    }
+
+    /// Records `n` cycles of identical blame (used when a quiescent
+    /// stretch is skipped in one jump).
+    pub fn record_n(&mut self, cause: StallCause, n: u64) {
         match cause {
-            StallCause::Busy => self.busy.incr(),
-            StallCause::L2Miss => self.l2_miss.incr(),
-            StallCause::L1Miss => self.l1_miss.incr(),
-            StallCause::Execute => self.execute.incr(),
-            StallCause::Dispatch => self.dispatch.incr(),
-            StallCause::FrontendBranch => self.frontend_branch.incr(),
-            StallCause::FrontendFetch => self.frontend_fetch.incr(),
+            StallCause::Busy => self.busy.add(n),
+            StallCause::L2Miss => self.l2_miss.add(n),
+            StallCause::L1Miss => self.l1_miss.add(n),
+            StallCause::Execute => self.execute.add(n),
+            StallCause::Dispatch => self.dispatch.add(n),
+            StallCause::FrontendBranch => self.frontend_branch.add(n),
+            StallCause::FrontendFetch => self.frontend_fetch.add(n),
         }
     }
 
@@ -169,12 +175,18 @@ impl CoreStats {
 
     /// Records a decode stall.
     pub fn record_stall(&mut self, cause: DecodeStall) {
+        self.record_stall_n(cause, 1);
+    }
+
+    /// Records `n` identical decode stalls (used when a quiescent stretch
+    /// is skipped in one jump).
+    pub fn record_stall_n(&mut self, cause: DecodeStall, n: u64) {
         match cause {
-            DecodeStall::Window => self.stall_window.incr(),
-            DecodeStall::Rename => self.stall_rename.incr(),
-            DecodeStall::ReservationStation => self.stall_rs.incr(),
-            DecodeStall::LoadQueue => self.stall_lq.incr(),
-            DecodeStall::StoreQueue => self.stall_sq.incr(),
+            DecodeStall::Window => self.stall_window.add(n),
+            DecodeStall::Rename => self.stall_rename.add(n),
+            DecodeStall::ReservationStation => self.stall_rs.add(n),
+            DecodeStall::LoadQueue => self.stall_lq.add(n),
+            DecodeStall::StoreQueue => self.stall_sq.add(n),
         }
     }
 

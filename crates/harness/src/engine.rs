@@ -496,6 +496,7 @@ pub fn run_campaign(
                             checked: spec.checked,
                             fault: spec.fault,
                             budget,
+                            ..RunOptions::default()
                         };
                         let run = catch_unwind(AssertUnwindSafe(|| {
                             // Chaos strikes only a point's first attempt,

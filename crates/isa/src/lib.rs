@@ -28,7 +28,7 @@ pub mod latency;
 pub mod opclass;
 pub mod reg;
 
-pub use instr::{BranchInfo, Instr, MemInfo, MemWidth, Privilege};
+pub use instr::{BranchInfo, Instr, MemInfo, MemWidth, Privilege, MAX_SRCS};
 pub use latency::LatencyTable;
 pub use opclass::{ExecUnit, OpClass, RsKind};
 pub use reg::{Reg, RegClass, NUM_FP_REGS, NUM_INT_REGS};

@@ -13,6 +13,10 @@ use std::collections::HashMap;
 pub struct MshrFile {
     capacity: u32,
     pending: HashMap<u64, u64>, // line_addr -> completion cycle
+    /// Earliest completion cycle across `pending` (`u64::MAX` when empty).
+    /// Lets [`MshrFile::retire_completed`] skip the map walk entirely on
+    /// the common call where no fill has landed yet.
+    earliest: u64,
 }
 
 impl MshrFile {
@@ -26,14 +30,20 @@ impl MshrFile {
         MshrFile {
             capacity,
             pending: HashMap::new(),
+            earliest: u64::MAX,
         }
     }
 
     /// Removes entries whose fills completed at or before `now`; returns
     /// how many entries retired.
     pub fn retire_completed(&mut self, now: u64) -> usize {
+        if self.earliest > now {
+            // Nothing can have completed yet; skip the walk.
+            return 0;
+        }
         let before = self.pending.len();
         self.pending.retain(|_, &mut done| done > now);
+        self.earliest = self.pending.values().copied().min().unwrap_or(u64::MAX);
         before - self.pending.len()
     }
 
@@ -55,11 +65,8 @@ impl MshrFile {
         if self.has_free_entry(now) {
             now
         } else {
-            self.pending
-                .values()
-                .copied()
-                .min()
-                .expect("full file is non-empty")
+            debug_assert_ne!(self.earliest, u64::MAX, "full file is non-empty");
+            self.earliest
         }
     }
 
@@ -79,6 +86,7 @@ impl MshrFile {
             "MSHR file over capacity"
         );
         self.pending.insert(line_addr, complete_at);
+        self.earliest = self.earliest.min(complete_at);
     }
 
     /// Number of in-flight entries (without retiring).
@@ -151,5 +159,34 @@ mod tests {
     fn next_free_at_with_space_is_now() {
         let mut m = MshrFile::new(2);
         assert_eq!(m.next_free_at(7), 7);
+    }
+
+    #[test]
+    fn earliest_watermark_tracks_allocate_and_retire() {
+        let mut m = MshrFile::new(4);
+        m.allocate(0x000, 30);
+        m.allocate(0x040, 10);
+        m.allocate(0x080, 20);
+        // Early-out path: nothing completes before the watermark.
+        assert_eq!(m.retire_completed(9), 0);
+        assert_eq!(m.occupancy(), 3);
+        // Retiring the earliest recomputes the watermark from survivors.
+        assert_eq!(m.retire_completed(10), 1);
+        assert_eq!(m.retire_completed(19), 0);
+        assert_eq!(m.retire_completed(25), 1);
+        assert_eq!(m.pending_completion(0x000), Some(30));
+        // A full file reports the cached minimum as its next free slot.
+        let mut f = MshrFile::new(2);
+        f.allocate(0x000, 50);
+        f.allocate(0x040, 40);
+        assert_eq!(f.next_free_at(5), 40);
+        // Re-allocating after retirement keeps the watermark fresh.
+        assert!(f.has_free_entry(45));
+        f.allocate(0x080, 60);
+        assert_eq!(f.retire_completed(49), 0, "watermark early-out at 49");
+        assert_eq!(f.retire_completed(50), 1, "the line filling at 50");
+        assert_eq!(f.retire_completed(59), 0, "watermark early-out again");
+        assert_eq!(f.retire_completed(60), 1);
+        assert_eq!(f.occupancy(), 0);
     }
 }

@@ -131,6 +131,19 @@ struct CoreMem {
     prefetcher: StridePrefetcher,
     prefetched_lines: HashSet<u64>,
     stats: MemStats,
+    /// Warm-path short-circuit: the line of this core's previous
+    /// `warm_fetch`, tagged with the warm epoch it was recorded in
+    /// (see [`MemorySystem::warm_epoch`]). A repeated warm fetch of the
+    /// same line would only re-refresh the already-most-recently-used
+    /// TLB page and L1I line — stamps are unique and monotone, so the
+    /// relative LRU order every future replacement decision consults is
+    /// unchanged — and can be skipped outright.
+    warm_fetch_memo: Option<(u64, u64)>,
+    /// Same for `warm_data`: `(line, had_store, epoch)`. `had_store`
+    /// records whether a store already dirtied the line (and, under SMP,
+    /// acquired ownership), so a repeated store is only skipped once
+    /// those side effects have happened.
+    warm_data_memo: Option<(u64, bool, u64)>,
 }
 
 impl CoreMem {
@@ -147,6 +160,8 @@ impl CoreMem {
             prefetcher: StridePrefetcher::new(32, cfg.prefetch_degree.max(1)),
             prefetched_lines: HashSet::new(),
             stats: MemStats::default(),
+            warm_fetch_memo: None,
+            warm_data_memo: None,
         }
     }
 }
@@ -184,6 +199,12 @@ pub struct MemorySystem {
     drop_fill: Vec<bool>,
     /// Optional structured-event sink (pure observer, see `s64v-observe`).
     probe: Option<Box<dyn Probe>>,
+    /// Generation counter guarding the per-core warm memos: bumped by
+    /// every timed access and by any warm-path eviction/coherence action,
+    /// so a memo is only honoured while nothing else has touched the
+    /// structures it summarises (sampled runs interleave warm and timed
+    /// phases on one shared system).
+    warm_epoch: u64,
 }
 
 impl MemorySystem {
@@ -214,6 +235,7 @@ impl MemorySystem {
             smp: cores > 1,
             drop_fill: vec![false; cores],
             probe: None,
+            warm_epoch: 0,
             cfg,
         }
     }
@@ -303,6 +325,7 @@ impl MemorySystem {
 
     /// Instruction fetch of the line containing `pc` at cycle `now`.
     pub fn fetch(&mut self, core: usize, pc: u64, now: u64) -> FetchAccess {
+        self.warm_epoch += 1; // timed activity invalidates the warm memos
         let tlb_miss = if self.cfg.perfect_tlb {
             false
         } else {
@@ -422,6 +445,7 @@ impl MemorySystem {
     }
 
     fn data_access(&mut self, core: usize, addr: u64, now: u64, is_store: bool) -> DataAccess {
+        self.warm_epoch += 1; // timed activity invalidates the warm memos
         let tlb_miss = if self.cfg.perfect_tlb {
             false
         } else {
@@ -805,6 +829,7 @@ impl MemorySystem {
     /// Invalidate every other CPU's structural copies of `line_addr`
     /// (their directory states were already cleared).
     fn invalidate_remote_copies(&mut self, core: usize, line_addr: u64) {
+        self.warm_epoch += 1; // remote structures change under the memos
         for i in 0..self.cores.len() {
             if i == core {
                 continue;
@@ -902,7 +927,18 @@ impl MemorySystem {
 
     /// Warms the instruction side with a fetch of `pc` (no timing, no
     /// statistics).
+    ///
+    /// Consecutive fetches of one line — the overwhelmingly common case
+    /// for sequential code — are collapsed to a memo check: a repeat
+    /// access would only refresh the LRU stamps of the already-MRU TLB
+    /// page and L1I line, and stamps are compared only by order, so
+    /// skipping the refresh leaves every future replacement decision
+    /// (and therefore all observable behaviour) unchanged.
     pub fn warm_fetch(&mut self, core: usize, pc: u64) {
+        let line = line_of(pc);
+        if self.cores[core].warm_fetch_memo == Some((line, self.warm_epoch)) {
+            return;
+        }
         if !self.cfg.perfect_tlb {
             self.cores[core].itlb.access(pc);
         }
@@ -910,20 +946,33 @@ impl MemorySystem {
             return;
         }
         if !self.cores[core].l1i.access(pc) {
-            self.warm_l2(core, line_of(pc), false);
+            self.warm_l2(core, line, false);
             self.cores[core].l1i.fill(pc, false);
         }
+        // The line is now resident and most-recently-used (the epoch is
+        // re-read: a warm_l2 eviction above may have bumped it).
+        self.cores[core].warm_fetch_memo = Some((line, self.warm_epoch));
     }
 
     /// Warms the data side with an access to `addr`.
+    ///
+    /// Repeats of the previous access's line are collapsed like
+    /// [`MemorySystem::warm_fetch`]; a store is only skipped if an
+    /// earlier store already dirtied the line (and, under SMP, acquired
+    /// ownership), so the skip has no side effects left to perform.
     pub fn warm_data(&mut self, core: usize, addr: u64, is_store: bool) {
+        let line = line_of(addr);
+        if let Some((l, had_store, epoch)) = self.cores[core].warm_data_memo {
+            if l == line && epoch == self.warm_epoch && (had_store || !is_store) {
+                return;
+            }
+        }
         if !self.cfg.perfect_tlb {
             self.cores[core].dtlb.access(addr);
         }
         if self.cfg.perfect_l1 {
             return;
         }
-        let line = line_of(addr);
         if self.cores[core].l1d.access(addr) {
             if is_store {
                 self.cores[core].l1d.mark_dirty(addr);
@@ -931,6 +980,7 @@ impl MemorySystem {
                     self.warm_ownership(core, line);
                 }
             }
+            self.cores[core].warm_data_memo = Some((line, is_store, self.warm_epoch));
             return;
         }
         self.warm_l2(core, line, is_store);
@@ -951,6 +1001,13 @@ impl MemorySystem {
                 }
             }
         }
+        // Prefetch-triggered L2 evictions can (rarely) knock the line
+        // back out of the L1 through inclusion; only memoise residency.
+        self.cores[core].warm_data_memo = if self.cores[core].l1d.contains(addr) {
+            Some((line, is_store, self.warm_epoch))
+        } else {
+            None
+        };
     }
 
     fn warm_l2(&mut self, core: usize, line_addr: u64, write_intent: bool) {
@@ -972,6 +1029,7 @@ impl MemorySystem {
             } else {
                 match self.dir.read(core, line_addr) {
                     ReadOutcome::MoveOut { owner } => {
+                        self.warm_epoch += 1; // owner's caches change
                         self.cores[owner].l2.mark_clean(line_addr);
                         self.cores[owner].l1d.invalidate(line_addr);
                     }
@@ -987,6 +1045,7 @@ impl MemorySystem {
             })
         };
         if let Some(ev) = ev {
+            self.warm_epoch += 1; // inclusion may strip L1 lines under a memo
             self.cores[core].l1d.invalidate(ev.line_addr);
             self.cores[core].l1i.invalidate(ev.line_addr);
             self.cores[core].prefetched_lines.remove(&ev.line_addr);
@@ -1157,6 +1216,7 @@ impl MemorySystem {
             })
             .map(|(line, _)| line)
             .min()?;
+        self.warm_epoch += 1; // coherence state no longer matches the memos
         self.dir.fault_force_state(core, line, Mesi::Modified);
         Some(line)
     }

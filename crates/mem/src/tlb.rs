@@ -8,6 +8,40 @@
 
 use crate::addr::page_of;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A multiplicative hasher for page numbers. The TLB map is keyed by
+/// 64-bit page frames, which a Fibonacci-style multiply mixes well
+/// enough for a hash table, at a fraction of SipHash's cost — the TLB
+/// sits on the per-access hot path of both warm-up and timed runs.
+/// Replacement stays deterministic under the different bucket order:
+/// the victim is the unique minimum-stamp entry, not an iteration-order
+/// tiebreak.
+#[derive(Default)]
+pub struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // The multiply concentrates entropy in the high bits; fold them
+        // down so the table's low-bit bucket index sees them.
+        self.0 ^ (self.0 >> 32)
+    }
+}
+
+type PageMap = HashMap<u64, u64, BuildHasherDefault<PageHasher>>;
 
 /// A fully associative translation lookaside buffer with LRU replacement.
 ///
@@ -23,8 +57,14 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct Tlb {
     capacity: u32,
-    entries: HashMap<u64, u64>, // page -> last-used stamp
+    entries: PageMap, // page -> last-used stamp
     stamp: u64,
+    /// The most recently stamped page. Repeat accesses to it can skip
+    /// the map entirely: the entry already holds the maximum stamp, and
+    /// re-stamping the maximum element never changes the relative stamp
+    /// order that LRU eviction consults, so hit/miss results and victim
+    /// choices are identical with or without the shortcut.
+    mru: Option<u64>,
 }
 
 impl Tlb {
@@ -37,8 +77,9 @@ impl Tlb {
         assert!(capacity > 0, "TLB needs at least one entry");
         Tlb {
             capacity,
-            entries: HashMap::new(),
+            entries: PageMap::default(),
             stamp: 0,
+            mru: None,
         }
     }
 
@@ -47,9 +88,13 @@ impl Tlb {
     /// walk's latency is charged by the caller).
     pub fn access(&mut self, addr: u64) -> bool {
         let page = page_of(addr);
+        if self.mru == Some(page) {
+            return true;
+        }
         self.stamp += 1;
         if let Some(e) = self.entries.get_mut(&page) {
             *e = self.stamp;
+            self.mru = Some(page);
             return true;
         }
         if self.entries.len() as u32 >= self.capacity {
@@ -62,6 +107,7 @@ impl Tlb {
             self.entries.remove(&victim);
         }
         self.entries.insert(page, self.stamp);
+        self.mru = Some(page);
         false
     }
 
@@ -73,6 +119,7 @@ impl Tlb {
     /// Drops every translation (context switch / trap handling studies).
     pub fn flush(&mut self) {
         self.entries.clear();
+        self.mru = None;
     }
 }
 

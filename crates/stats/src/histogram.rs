@@ -43,12 +43,18 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical samples in one update — exactly equivalent to
+    /// calling [`Histogram::record`] `n` times.
+    pub fn record_n(&mut self, value: u64, n: u64) {
         match self.buckets.get_mut(value as usize) {
-            Some(b) => *b += 1,
-            None => self.overflow += 1,
+            Some(b) => *b += n,
+            None => self.overflow += n,
         }
-        self.sum += value;
-        self.total += 1;
+        self.sum += value * n;
+        self.total += n;
         self.max_seen = self.max_seen.max(value);
     }
 
@@ -148,6 +154,21 @@ mod tests {
         assert_eq!(h.quantile(0.5), 5);
         assert_eq!(h.quantile(1.0), 10);
         assert_eq!(h.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = Histogram::new(4);
+        let mut b = Histogram::new(4);
+        for _ in 0..7 {
+            a.record(3);
+        }
+        for _ in 0..2 {
+            a.record(9);
+        }
+        b.record_n(3, 7);
+        b.record_n(9, 2);
+        assert_eq!(a, b);
     }
 
     #[test]

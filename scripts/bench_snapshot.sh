@@ -4,6 +4,11 @@
 # so successive PRs leave a uniform, diffable record of simulator
 # throughput (ROADMAP: "regressions are invisible until this exists").
 #
+# Each snapshot also records the git revision it measured and the host
+# core count, so numbers from different machines or stale checkouts are
+# never silently compared, and per-suite simulated-cycles/sec alongside
+# records/sec (cycles/s is the honest unit for the cycle kernel).
+#
 # Usage: scripts/bench_snapshot.sh <n>   (from the repository root)
 # Example: scripts/bench_snapshot.sh 6   -> BENCH_6.json
 set -eu
@@ -13,6 +18,9 @@ out="BENCH_${n}.json"
 scratch="target/bench-snapshot"
 rm -rf "$scratch"
 mkdir -p "$scratch"
+
+rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+cores="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo unknown)"
 
 echo "== micro-benchmarks (cargo bench -p s64v-bench --bench sim_speed)"
 cargo bench -p s64v-bench --bench sim_speed | tee "$scratch/bench.txt"
@@ -26,15 +34,24 @@ cargo run --release -p s64v-harness --bin campaign -- \
 grep '^campaign:' "$scratch/campaign.txt"
 
 # Assemble the snapshot. The bench lines look like
-#   sim_speed/SPECint95: 12.345 ms/iter, 2430000 elem/s
+#   sim_speed/SPECint95: 12.345 ms/iter, 2430000 elem/s, 99000000 cycles/s
+#   trace_generation/SPECint95: 2.345 ms/iter, 42000000 elem/s
 # and the campaign epilogue like
 #   campaign: 12 completed (0 from cache), 0 failed, 0.42M records simulated in 1.3s (320K rec/s)
-awk -v n="$n" -v date="$(date -u +%Y-%m-%d)" '
-FILENAME ~ /bench.txt/ && /elem\/s$/ {
+awk -v n="$n" -v date="$(date -u +%Y-%m-%d)" -v rev="$rev" -v cores="$cores" '
+FILENAME ~ /bench.txt/ && /elem\/s/ {
     split($0, halves, ": ")
     key = halves[1]
-    rate = $(NF - 1)
-    lines[++count] = sprintf("    \"%s\": %s", key, rate)
+    split(halves[2], fields, ", ")
+    for (i in fields) {
+        if (fields[i] ~ / elem\/s$/) {
+            sub(/ elem\/s$/, "", fields[i])
+            lines[++count] = sprintf("    \"%s\": %s", key, fields[i])
+        } else if (fields[i] ~ / cycles\/s$/) {
+            sub(/ cycles\/s$/, "", fields[i])
+            cyc[++ccount] = sprintf("    \"%s\": %s", key, fields[i])
+        }
+    }
 }
 FILENAME ~ /campaign.txt/ && /^campaign:/ {
     if (match($0, /\([0-9]+K rec\/s\)/)) {
@@ -45,9 +62,14 @@ END {
     printf "{\n"
     printf "  \"snapshot\": %s,\n", n
     printf "  \"date\": \"%s\",\n", date
+    printf "  \"git_rev\": \"%s\",\n", rev
+    printf "  \"host_cores\": %s,\n", cores
     printf "  \"units\": \"simulated records (or generated records) per second, best iteration\",\n"
     printf "  \"rates\": {\n"
     for (i = 1; i <= count; i++) printf "%s%s\n", lines[i], (i < count ? "," : "")
+    printf "  },\n"
+    printf "  \"simulated_cycles_per_second\": {\n"
+    for (i = 1; i <= ccount; i++) printf "%s%s\n", cyc[i], (i < ccount ? "," : "")
     printf "  },\n"
     printf "  \"end_to_end\": {\n"
     printf "    \"figure\": \"fig08_issue_width\",\n"

@@ -70,6 +70,55 @@ cargo run --release -p s64v-harness --bin campaign -- \
     --check-artifact "$EXPLORE_SCRATCH"/cache/*.explore.json > /dev/null 2>&1
 rm -rf "$EXPLORE_SCRATCH"
 
+echo "== bench smoke (simulator throughput vs committed floor)"
+# Reduced-size sim_speed run compared against specs/bench_floor.json:
+# a suite more than 30% below its floor fails the gate, so kernel
+# regressions surface in CI instead of at the next BENCH_<n> snapshot.
+# Floors are set from a clean run's --smoke rates; re-calibrate them
+# (and justify the change) whenever the kernel is deliberately reworked.
+BENCH_SCRATCH=target/ci-bench
+rm -rf "$BENCH_SCRATCH"
+mkdir -p "$BENCH_SCRATCH"
+cargo bench -p s64v-bench --bench sim_speed -- --smoke \
+    | tee "$BENCH_SCRATCH/smoke.txt"
+awk '
+FILENAME ~ /bench_floor/ {
+    if (match($0, /"sim_speed\/[^"]*"/)) {
+        key = substr($0, RSTART + 1, RLENGTH - 2)
+        rest = substr($0, RSTART + RLENGTH)
+        gsub(/[^0-9]/, "", rest)
+        floor[key] = rest + 0
+    }
+    next
+}
+/ elem\/s/ {
+    split($0, halves, ": ")
+    split(halves[2], fields, ", ")
+    for (i in fields) {
+        if (fields[i] ~ / elem\/s$/) {
+            sub(/ elem\/s$/, "", fields[i])
+            rate[halves[1]] = fields[i] + 0
+        }
+    }
+}
+END {
+    status = 0
+    for (k in floor) {
+        if (!(k in rate)) {
+            printf "bench-smoke: %s missing from bench output\n", k
+            status = 1
+            continue
+        }
+        min = floor[k] * 0.70
+        ok = rate[k] >= min
+        printf "bench-smoke: %-20s %9.0f elem/s (floor %.0f, min %.0f) %s\n", \
+            k, rate[k], floor[k], min, ok ? "ok" : "REGRESSION"
+        if (!ok) status = 1
+    }
+    exit status
+}' specs/bench_floor.json "$BENCH_SCRATCH/smoke.txt"
+rm -rf "$BENCH_SCRATCH"
+
 echo "== chaos soak (supervised runtime must absorb every injected fault)"
 # Torn cache writes, truncated journal appends, injected hangs and
 # worker panics — the gate fails unless a chaos campaign's results are
