@@ -332,6 +332,25 @@ impl Auditor {
                     mem,
                 ));
             }
+
+            // Top-down CPI conservation: every simulated cycle must be
+            // attributed to exactly one blame-taxonomy leaf, so the leaf
+            // counters partition the cycle counter exactly.
+            let stats = core.stats();
+            if !stats.cpi.conserves(stats.cycles.get()) {
+                return Err(self.err(
+                    now,
+                    Some(i),
+                    Component::Conservation,
+                    format!(
+                        "CPI-stack conservation broken: {} attributed cycles != {} simulated",
+                        stats.cpi.total(),
+                        stats.cycles.get()
+                    ),
+                    Some(s),
+                    mem,
+                ));
+            }
         }
 
         mem.audit_mshr_credit()
@@ -399,6 +418,17 @@ mod tests {
         assert_eq!(err.cycle, 10);
         assert_eq!(err.core, Some(0));
         assert!(err.to_string().contains("moved backwards"), "{err}");
+    }
+
+    #[test]
+    fn leaked_cpi_cycle_breaks_topdown_conservation() {
+        let (mut cores, mem) = parts();
+        let mut a = Auditor::new(1);
+        cores[0].fault_leak_cpi_cycle();
+        let err = a.check(4, &cores, &mem).unwrap_err();
+        assert_eq!(err.component, Component::Conservation);
+        assert_eq!(err.core, Some(0));
+        assert!(err.message.contains("CPI-stack"), "{err}");
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub use model::{CycleBudget, PerformanceModel, RunOptions};
 pub use observe::{ObserveConfig, Observer};
 pub use reference::{compare, ModelCheck, ReferenceMachine};
 pub use s64v_observe::RunObservation;
+pub use s64v_observe::{CpiGroup, CpiLeaf, CpiStack, MemBlame, CPI_LEAVES};
 pub use stability::{seed_study, seed_study_ratio, SeedStudy};
 pub use sweep::{DesignPoint, Sweep};
 pub use system::{RunResult, SystemConfig};

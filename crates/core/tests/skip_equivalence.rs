@@ -30,6 +30,35 @@ fn assert_identical(label: &str, model: &PerformanceModel, trace: &s64v_trace::V
         format!("{stepped:?}"),
         "{label}: skipping changed the result"
     );
+    assert_cpi_identical(label, &skipped, &stepped);
+}
+
+/// Skip-on and skip-off must attribute every cycle to the same CPI-taxonomy
+/// leaf (not merely produce equal aggregate results), and each stack must
+/// conserve its core's cycle count — the checked-mode invariant, asserted
+/// here on every equivalence suite.
+fn assert_cpi_identical(
+    label: &str,
+    skipped: &s64v_core::RunResult,
+    stepped: &s64v_core::RunResult,
+) {
+    for (cpu, (a, b)) in skipped
+        .core_stats
+        .iter()
+        .zip(stepped.core_stats.iter())
+        .enumerate()
+    {
+        assert_eq!(
+            a.cpi, b.cpi,
+            "{label}: cpu {cpu} CPI stack differs between skip-on and skip-off"
+        );
+        assert!(
+            a.cpi.conserves(a.cycles.get()),
+            "{label}: cpu {cpu} CPI leaves sum {} != {} cycles",
+            a.cpi.total(),
+            a.cycles.get()
+        );
+    }
 }
 
 #[test]
@@ -66,6 +95,7 @@ fn tpcc_matches_on_up_and_smp() {
             format!("{stepped:?}"),
             "tpcc/smp2/seed{seed}: skipping changed the result"
         );
+        assert_cpi_identical(&format!("tpcc/smp2/seed{seed}"), &skipped, &stepped);
     }
 }
 
@@ -86,6 +116,7 @@ fn warm_runs_match() {
             format!("{stepped:?}"),
             "warm/seed{seed}: skipping changed the result"
         );
+        assert_cpi_identical(&format!("warm/seed{seed}"), &skipped, &stepped);
     }
 }
 
@@ -101,6 +132,7 @@ fn observed_runs_match_including_interval_samples() {
         .try_run_traces_observed(std::slice::from_ref(&trace), no_skip(), ocfg)
         .expect("clean run");
     assert_eq!(format!("{r_skip:?}"), format!("{r_step:?}"));
+    assert_cpi_identical("observed", &r_skip, &r_step);
     assert_eq!(
         format!("{:?}", o_skip.intervals),
         format!("{:?}", o_step.intervals),

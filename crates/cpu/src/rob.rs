@@ -103,6 +103,11 @@ pub struct InstrState {
     /// Whether the issued memory access was served by the on-chip caches
     /// (`Some(false)` = it went to the bus/memory); used for stall blame.
     pub mem_l2_hit: Option<bool>,
+    /// Which memory level/resource the issued access's latency is blamed
+    /// on, recorded at issue for top-down CPI attribution. `None` until
+    /// the access issues (store-forwarded loads never issue and count as
+    /// L1D-speed data supply).
+    pub mem_blame: Option<s64v_observe::MemBlame>,
     /// Times this instruction was cancelled and replayed.
     pub replays: u32,
     /// Predicted direction (conditional branches).
@@ -131,6 +136,7 @@ impl InstrState {
             mem_issued: false,
             mem_ready_at: None,
             mem_l2_hit: None,
+            mem_blame: None,
             replays: 0,
             predicted_taken: false,
             mispredicted: false,
@@ -152,6 +158,7 @@ impl InstrState {
         self.addr_ready_at = None;
         self.mem_ready_at = None;
         self.mem_l2_hit = None;
+        self.mem_blame = None;
         self.replays += 1;
     }
 }

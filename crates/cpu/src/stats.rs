@@ -1,5 +1,6 @@
 //! Core pipeline statistics.
 
+use s64v_observe::CpiStack;
 use s64v_stats::{Counter, Histogram, Ratio};
 
 /// Why decode stalled (first blocking resource wins, checked in pipeline
@@ -145,6 +146,10 @@ pub struct CoreStats {
     pub sq_occupancy: Histogram,
     /// Online CPI-stack attribution (head-of-window blame per cycle).
     pub stall_cycles: StallCycles,
+    /// Top-down hierarchical CPI accounting: every cycle attributed to
+    /// exactly one taxonomy leaf (`s64v-observe::cpi`). Conservation
+    /// (`cpi.total() == cycles`) is audited in checked mode.
+    pub cpi: CpiStack,
 }
 
 impl CoreStats {
@@ -170,6 +175,7 @@ impl CoreStats {
             lq_occupancy: Histogram::new(lq as u64),
             sq_occupancy: Histogram::new(sq as u64),
             stall_cycles: StallCycles::default(),
+            cpi: CpiStack::default(),
         }
     }
 

@@ -13,6 +13,7 @@
 //!          [--threads N] [--cache-dir DIR] [--no-cache] [--quiet]
 //! campaign soak [--seed N] [--rate PER_MILLE] [--dir DIR]
 //!          [--threads N] [--quiet]
+//! campaign perf BASE NEW [--folded PATH] [--fail-threshold PCT]
 //! ```
 //!
 //! Run sizes come from the usual `S64V_*` environment variables;
@@ -56,6 +57,19 @@
 //! a spec file or an inline JSON object — streams search events to
 //! stderr, and emits one compact report JSON per query on stdout.
 //!
+//! `perf` is the regression observatory: it diffs two performance
+//! sources — each a campaign cache directory (aggregating its
+//! `<fingerprint>.cpi.json` top-down artifacts, with journaled
+//! failures surfaced as excluded points), a single `.cpi.json`
+//! artifact, or a `BENCH_<n>.json` throughput snapshot — and
+//! attributes every CPI delta to the blame taxonomy ("TPC-C regressed
+//! 8%: +6% backend-memory/dram, +2% bad-speculation/replay").
+//! `--folded PATH` additionally writes the new side's stacks in
+//! folded (flamegraph-compatible) form. BENCH snapshots carry rates
+//! but no stacks, so their regressions are *unattributed*;
+//! `--fail-threshold PCT` exits nonzero when the worst unattributed
+//! regression exceeds the threshold.
+//!
 //! Exits nonzero if any point failed to simulate, any figure failed to
 //! render (including a model verification mismatch), any journaled
 //! failure from a previous run is still unresolved, or any exploration
@@ -67,6 +81,7 @@ use s64v_harness::engine::{run_campaign, CampaignOutcome, PointOutcome};
 use s64v_harness::explore::{run_explore, ExploreOpts};
 use s64v_harness::figures::{figure_names, run_figures, EngineOpts};
 use s64v_harness::journal::{journal_path, Journal};
+use s64v_harness::perf::{validate_cpi_artifact, PerfDiff, PerfSource};
 use s64v_harness::progress::ProgressEvent;
 use s64v_harness::spec::{CampaignSpec, HarnessOpts, SimPoint, WorkUnit};
 use s64v_harness::supervise::{unseal_lenient, SupervisePolicy};
@@ -92,7 +107,9 @@ fn usage() -> ! {
          \x20               [--threads N] [--cache-dir DIR] [--no-cache]\n\
          \x20               [--deadline SECS] [--cycle-budget N] [--retries N] [--quiet]\n\
          \x20      campaign soak [--seed N] [--rate PER_MILLE] [--dir DIR]\n\
-         \x20               [--threads N] [--quiet]"
+         \x20               [--threads N] [--quiet]\n\
+         \x20      campaign perf BASE NEW [--folded PATH] [--fail-threshold PCT]\n\
+         \x20               (BASE/NEW: cache dir, .cpi.json artifact, or BENCH_<n>.json)"
     );
     std::process::exit(2);
 }
@@ -116,6 +133,12 @@ fn check_artifact(path: &str) -> Result<(), String> {
         for (i, line) in text.lines().enumerate() {
             Value::parse(line).map_err(|e| format!("line {}: invalid JSON: {e}", i + 1))?;
         }
+    } else if path.ends_with(".cpi.json") {
+        // A top-down CPI artifact must conserve: its 16 leaves sum
+        // exactly to its core-cycle count, and each group total matches
+        // the sum of its member leaves.
+        let doc = Value::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+        validate_cpi_artifact(&doc)?;
     } else if path.ends_with(".pipeline.txt") {
         if text.trim().is_empty() {
             return Err("empty diagram".to_string());
@@ -724,6 +747,71 @@ fn soak_main(args: impl Iterator<Item = String>) -> ! {
     std::process::exit(1);
 }
 
+fn perf_main(args: impl Iterator<Item = String>) -> ! {
+    let mut positional: Vec<String> = Vec::new();
+    let mut folded_out: Option<PathBuf> = None;
+    let mut fail_threshold: Option<f64> = None;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--folded" => folded_out = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--fail-threshold" => {
+                fail_threshold = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|p: &f64| *p >= 0.0)
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            _ if !arg.starts_with('-') => positional.push(arg),
+            _ => usage(),
+        }
+    }
+    let [base_path, new_path] = positional.as_slice() else {
+        eprintln!("perf needs exactly two sources: BASE and NEW");
+        usage();
+    };
+    let load = |p: &str| {
+        PerfSource::load(Path::new(p)).unwrap_or_else(|e| {
+            eprintln!("perf: {e}");
+            std::process::exit(2);
+        })
+    };
+    let base = load(base_path);
+    let new = load(new_path);
+    let diff = PerfDiff::compute(&base, &new);
+    println!("perf: {} -> {}", base.name, new.name);
+    print!("{}", diff.render());
+
+    if let Some(out) = &folded_out {
+        let text = new.folded();
+        match std::fs::write(out, &text) {
+            Ok(()) => eprintln!(
+                "perf: wrote {} folded stack line(s) to {}",
+                text.lines().count(),
+                out.display()
+            ),
+            Err(e) => {
+                eprintln!("perf: cannot write {}: {e}", out.display());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let worst = diff.worst_unattributed_regression();
+    if let Some(threshold) = fail_threshold {
+        if worst > threshold {
+            eprintln!(
+                "perf FAILED: worst unattributed regression {worst:.1}% exceeds the \
+                 {threshold:.1}% threshold"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("perf OK: worst unattributed regression {worst:.1}% within {threshold:.1}%");
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let mut raw = std::env::args().skip(1).peekable();
     match raw.peek().map(String::as_str) {
@@ -738,6 +826,10 @@ fn main() {
         Some("soak") => {
             raw.next();
             soak_main(raw);
+        }
+        Some("perf") => {
+            raw.next();
+            perf_main(raw);
         }
         _ => {}
     }

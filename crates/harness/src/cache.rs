@@ -24,8 +24,14 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// Format tag written as the first line of every cache file.
-const FORMAT: &str = "s64v-point v1";
+/// Format tag written as the first line of every cache file. Bumped to
+/// v2 when the CPI stack joined [`PointMetrics`]; entries carrying any
+/// *other* `s64v-point` version tag are a silent miss (a format upgrade,
+/// not corruption) and re-simulate.
+const FORMAT: &str = "s64v-point v2";
+
+/// Prefix shared by every cache-format version tag (see [`FORMAT`]).
+const FORMAT_FAMILY: &str = "s64v-point v";
 
 /// Handle on a cache directory.
 #[derive(Debug, Clone, Default)]
@@ -78,6 +84,11 @@ impl ResultCache {
                 return None;
             }
         };
+        if is_stale_format(payload) {
+            // A healthy entry from an older (or newer) cache format:
+            // simply re-simulate; the store afterwards upgrades it.
+            return None;
+        }
         let parsed = parse(payload);
         if parsed.is_none() {
             eprintln!(
@@ -167,9 +178,20 @@ fn encode(m: &PointMetrics) -> String {
     let _ = writeln!(s, "mean_load_latency: {:?}", m.mean_load_latency);
     let stalls: Vec<String> = m.stalls.iter().map(u64::to_string).collect();
     let _ = writeln!(s, "stalls: {}", stalls.join(" "));
+    let cpi: Vec<String> = m.cpi.iter().map(u64::to_string).collect();
+    let _ = writeln!(s, "cpi: {}", cpi.join(" "));
     let _ = writeln!(s, "reference_cycles: {}", m.reference_cycles);
     let _ = writeln!(s, "same_work: {}", m.same_work);
     s
+}
+
+/// Whether the payload is a well-formed entry from a *different* cache
+/// format version — a leftover from before an upgrade, which should miss
+/// silently (the next store rewrites it) rather than warn as corruption.
+fn is_stale_format(text: &str) -> bool {
+    text.lines()
+        .next()
+        .is_some_and(|first| first != FORMAT && first.starts_with(FORMAT_FAMILY))
 }
 
 fn parse(text: &str) -> Option<PointMetrics> {
@@ -201,6 +223,13 @@ fn parse(text: &str) -> Option<PointMetrics> {
                     .collect::<Option<_>>()?;
                 m.stalls = parts.try_into().ok()?;
             }
+            "cpi" => {
+                let parts: Vec<u64> = value
+                    .split_whitespace()
+                    .map(|p| p.parse().ok())
+                    .collect::<Option<_>>()?;
+                m.cpi = parts.try_into().ok()?;
+            }
             "reference_cycles" => m.reference_cycles = value.parse().ok()?,
             "same_work" => m.same_work = value.parse().ok()?,
             _ => return None,
@@ -208,7 +237,7 @@ fn parse(text: &str) -> Option<PointMetrics> {
         seen += 1;
     }
     // Every field must be present exactly once.
-    (seen == 15).then_some(m)
+    (seen == 16).then_some(m)
 }
 
 fn parse_pair(value: &str) -> Option<(u64, u64)> {
@@ -235,6 +264,7 @@ mod tests {
             bus_transactions: 14,
             mean_load_latency: 3.0625e2,
             stalls: [1, 2, 3, 4, 5, 6, 7],
+            cpi: [100, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15],
             reference_cycles: 99,
             same_work: true,
         }
@@ -253,6 +283,20 @@ mod tests {
         assert_eq!(parse(&truncated), None);
         let tampered = encode(&sample()).replace("cycles:", "cycels:");
         assert_eq!(parse(&tampered), None);
+    }
+
+    #[test]
+    fn stale_format_versions_miss_silently() {
+        // An entry from a previous cache format is healthy text, not
+        // damage: it must miss (and re-simulate) without the corruption
+        // warning path deciding anything about it.
+        let old = encode(&sample()).replacen(FORMAT, "s64v-point v1", 1);
+        assert!(is_stale_format(&old));
+        assert_eq!(parse(&old), None);
+        // The current format and garbage are both "not stale": one
+        // parses, the other warns as corruption.
+        assert!(!is_stale_format(&encode(&sample())));
+        assert!(!is_stale_format("wrong header\n"));
     }
 
     #[test]

@@ -48,8 +48,10 @@ use std::time::{Duration, Instant};
 /// How one point ended.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PointOutcome {
-    /// The point simulated (or cache-hit) successfully.
-    Metrics(PointMetrics),
+    /// The point simulated (or cache-hit) successfully. Boxed: the
+    /// metrics (CPI stack included) dwarf the failure variants, and a
+    /// campaign holds one outcome per point.
+    Metrics(Box<PointMetrics>),
     /// The point failed; the campaign continued without it.
     Failed {
         /// The simulation error or panic message.
@@ -282,6 +284,7 @@ fn point_records(point: &SimPoint) -> u64 {
 fn metrics_from(r: &RunResult) -> PointMetrics {
     let pair = |ratio: s64v_stats::Ratio| (ratio.numerator(), ratio.denominator());
     let mut stalls = [0u64; 7];
+    let mut cpi = [0u64; 16];
     for c in &r.core_stats {
         let s = &c.stall_cycles;
         for (slot, counter) in stalls.iter_mut().zip([
@@ -294,6 +297,9 @@ fn metrics_from(r: &RunResult) -> PointMetrics {
             s.frontend_fetch,
         ]) {
             *slot += counter.get();
+        }
+        for (slot, cell) in cpi.iter_mut().zip(c.cpi.cells) {
+            *slot += cell;
         }
     }
     PointMetrics {
@@ -310,6 +316,7 @@ fn metrics_from(r: &RunResult) -> PointMetrics {
         bus_transactions: r.bus_transactions,
         mean_load_latency: r.mean_load_latency(),
         stalls,
+        cpi,
         reference_cycles: 0,
         same_work: true,
     }
@@ -457,6 +464,20 @@ pub fn run_campaign(
                     if !observed {
                         if let Some(hit) = cache.and_then(|c| c.load(fp)) {
                             cache_hits.fetch_add(1, Ordering::Relaxed);
+                            // Backfill the PMU artifact if it went missing
+                            // (deleted, or predates artifact emission) so
+                            // `campaign perf` always sees a full cache dir.
+                            if let Some(c) = cache {
+                                if hit.cpi_core_cycles() > 0
+                                    && !c.artifact_path(fp, "cpi.json").exists()
+                                {
+                                    let _ = c.store_artifact(
+                                        fp,
+                                        "cpi.json",
+                                        &crate::perf::cpi_artifact(&label, fp, &hit),
+                                    );
+                                }
+                            }
                             if let Some(j) = journal {
                                 j.record_ok(fp, &label);
                             }
@@ -468,7 +489,7 @@ pub fn run_campaign(
                                 elapsed: point_start.elapsed(),
                             });
                             *slots[index].lock().unwrap_or_else(|e| e.into_inner()) =
-                                Some(PointOutcome::Metrics(hit));
+                                Some(PointOutcome::Metrics(Box::new(hit)));
                             done.fetch_add(1, Ordering::Relaxed);
                             in_flight.fetch_sub(1, Ordering::Relaxed);
                             continue;
@@ -545,6 +566,17 @@ pub fn run_campaign(
                                     // to a re-simulation; the current one
                                     // is unharmed.
                                     let _ = c.store(fp, &metrics);
+                                    // PMU-style top-down artifact for every
+                                    // simulated point. Verify-only points
+                                    // commit nothing and carry no stack, so
+                                    // they get no artifact.
+                                    if metrics.cpi_core_cycles() > 0 {
+                                        let _ = c.store_artifact(
+                                            fp,
+                                            "cpi.json",
+                                            &crate::perf::cpi_artifact(&label, fp, &metrics),
+                                        );
+                                    }
                                     if wants_trace {
                                         let _ = c.store_artifact(
                                             fp,
@@ -575,7 +607,7 @@ pub fn run_campaign(
                                     records: point_records(point),
                                     elapsed: point_start.elapsed(),
                                 });
-                                break PointOutcome::Metrics(metrics);
+                                break PointOutcome::Metrics(Box::new(metrics));
                             }
                             Ok(Err(sim)) if sim.is_watchdog() => {
                                 timed_out.fetch_add(1, Ordering::Relaxed);

@@ -23,7 +23,7 @@ use s64v_core::fingerprint::Fingerprint;
 use s64v_core::stability::SeedStudy;
 use s64v_core::versions::ModelVersion;
 use s64v_core::ChaosPlan;
-use s64v_core::{program_seed, SystemConfig};
+use s64v_core::{program_seed, CpiGroup, CpiLeaf, CpiStack, SystemConfig};
 use s64v_stats::ratio::relative_change_percent;
 use s64v_stats::{Ratio, Table};
 use s64v_workloads::{Suite, SuiteKind};
@@ -1046,6 +1046,56 @@ fn cpi_stack_render(o: &HarnessOpts, store: &PointStore) -> Result<(), String> {
     Ok(())
 }
 
+fn cpi_topdown_points(o: &HarnessOpts) -> Vec<SimPoint> {
+    up_points(&base(), o)
+}
+
+fn cpi_topdown_render(o: &HarnessOpts, store: &PointStore) -> Result<(), String> {
+    banner(
+        "Top-down CPI accounting",
+        "§4.2 (Fig 7 stall breakdown via exhaustive cycle blame)",
+        "conservation-checked: the five groups partition every core cycle",
+    );
+    let mut t = Table::with_headers(&[
+        "workload",
+        "CPI",
+        "retire",
+        "frontend",
+        "bad-spec",
+        "backend-core",
+        "backend-mem",
+        "top stall leaf",
+    ]);
+    for kind in UP_SUITES {
+        let agg = gather_suite(store, &base(), kind, o).map_err(|e| e.to_string())?;
+        let mut stack = CpiStack::default();
+        let mut committed = 0u64;
+        for p in &agg.programs {
+            stack.merge(&CpiStack::from_cells(p.cpi));
+            committed += p.committed;
+        }
+        let total = stack.total().max(1);
+        let top_stall = CpiLeaf::ALL
+            .into_iter()
+            .filter(|l| *l != CpiLeaf::Retire)
+            .max_by_key(|l| stack.get(*l))
+            .expect("taxonomy has stall leaves");
+        let mut row = vec![
+            kind.label().to_string(),
+            format!("{:.3}", total as f64 / committed.max(1) as f64),
+        ];
+        row.extend(
+            CpiGroup::ALL
+                .into_iter()
+                .map(|g| format!("{:.2}", stack.group_total(g) as f64 / total as f64)),
+        );
+        row.push(top_stall.path());
+        t.row(row);
+    }
+    emit("cpi_topdown", &t);
+    Ok(())
+}
+
 /// The stability study's comparisons: (name, base config, alt config,
 /// suite, program index).
 fn stability_comparisons() -> [(&'static str, SystemConfig, SystemConfig, SuiteKind, usize); 3] {
@@ -1233,6 +1283,11 @@ pub const FIGURES: &[FigureDef] = &[
         name: "cpi_stack",
         points: cpi_stack_points,
         render: cpi_stack_render,
+    },
+    FigureDef {
+        name: "cpi_topdown",
+        points: cpi_topdown_points,
+        render: cpi_topdown_render,
     },
     FigureDef {
         name: "stability",
@@ -1463,7 +1518,7 @@ mod tests {
 
     #[test]
     fn registry_is_consistent() {
-        assert_eq!(FIGURES.len(), 19);
+        assert_eq!(FIGURES.len(), 20);
         assert!(figure("fig08_issue_width").is_some());
         assert!(figure("nope").is_none());
         let names = figure_names();

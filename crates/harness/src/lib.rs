@@ -47,6 +47,7 @@ pub mod engine;
 pub mod explore;
 pub mod figures;
 pub mod journal;
+pub mod perf;
 pub mod progress;
 pub mod spec;
 pub mod supervise;
@@ -54,6 +55,7 @@ pub mod supervise;
 pub use engine::{execute_point, run_campaign, try_execute_point, CampaignOutcome, PointOutcome};
 pub use explore::{load_cached_report, report_path, run_explore, store_report, ExploreOpts};
 pub use figures::{figure, figure_names, run_figures, EngineOpts, FigureDef, RunSummary};
+pub use perf::{cpi_artifact, validate_cpi_artifact, PerfDiff, PerfSource, WorkloadDelta};
 pub use progress::{CampaignReport, ProgressEvent};
 pub use spec::{CampaignSpec, HarnessOpts, PointMetrics, SimPoint, WorkUnit};
 pub use supervise::{

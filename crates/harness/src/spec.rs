@@ -187,6 +187,11 @@ pub struct PointMetrics {
     /// Zero-commit-cycle blame in `StallCycles` order: busy, l2-miss,
     /// l1-miss, execute, dispatch, frontend-branch, frontend-fetch.
     pub stalls: [u64; 7],
+    /// Top-down CPI stack in [`s64v_core::CpiLeaf`] cell order, summed
+    /// across CPUs. Each core's stack conserves its cycle count, so these
+    /// cells sum to total *core* cycles (`cycles` × CPUs for lock-stepped
+    /// SMP, not wall-clock `cycles`).
+    pub cpi: [u64; 16],
     /// Reference-machine cycles ([`WorkUnit::Verify`] points; else 0).
     pub reference_cycles: u64,
     /// Whether model and reference did identical architectural work
@@ -202,6 +207,12 @@ impl PointMetrics {
         } else {
             self.committed as f64 / self.cycles as f64
         }
+    }
+
+    /// Total core cycles attributed by the CPI stack (equals wall-clock
+    /// `cycles` on a uniprocessor, `cycles` × CPUs on lock-stepped SMP).
+    pub fn cpi_core_cycles(&self) -> u64 {
+        self.cpi.iter().sum()
     }
 
     /// Bus utilization over the run.

@@ -53,6 +53,13 @@ pub struct DataAccess {
     pub l2_hit: bool,
     /// Whether the DTLB missed.
     pub tlb_miss: bool,
+    /// Whether the access had to wait for a free MSHR (at the L1D or L2
+    /// file) before its miss could even be tracked. Blame metadata for
+    /// top-down CPI accounting; never affects timing decisions.
+    pub mshr_wait: bool,
+    /// Whether any bus request on the access's miss path queued behind
+    /// other traffic (granted later than requested). Blame metadata.
+    pub bus_wait: bool,
 }
 
 /// Occupancy of one MSHR file against its capacity.
@@ -170,6 +177,10 @@ impl CoreMem {
 struct L2Fill {
     ready_at: u64,
     hit: bool,
+    /// The fill stalled for an L2 MSHR (blame metadata).
+    mshr_wait: bool,
+    /// A bus request on the fill path queued (blame metadata).
+    bus_wait: bool,
 }
 
 /// The complete memory system for one or more CPUs.
@@ -205,6 +216,11 @@ pub struct MemorySystem {
     /// structures it summarises (sampled runs interleave warm and timed
     /// phases on one shared system).
     warm_epoch: u64,
+    /// Blame scratch: set by [`MemorySystem::req_backplane`] /
+    /// [`MemorySystem::req_board`] whenever a grant queued behind other
+    /// traffic; cleared and sampled around each primary-miss path. Pure
+    /// metadata — never read by any timing decision.
+    bus_queued: bool,
 }
 
 impl MemorySystem {
@@ -236,6 +252,7 @@ impl MemorySystem {
             drop_fill: vec![false; cores],
             probe: None,
             warm_epoch: 0,
+            bus_queued: false,
             cfg,
         }
     }
@@ -300,6 +317,7 @@ impl MemorySystem {
     /// Backplane-bus request with event emission.
     fn req_backplane(&mut self, t: u64, op: BusOp, window: u64) -> BusGrant {
         let g = self.bus.request(t, op, window);
+        self.bus_queued |= g.granted_at > t;
         self.emit(ObsEvent::BusGrant {
             bus: BusId::Backplane,
             cycle: t,
@@ -313,6 +331,7 @@ impl MemorySystem {
     /// Board-local bus request with event emission.
     fn req_board(&mut self, board: usize, t: u64, op: BusOp, window: u64) -> BusGrant {
         let g = self.boards[board].request(t, op, window);
+        self.bus_queued |= g.granted_at > t;
         self.emit(ObsEvent::BusGrant {
             bus: BusId::Board(board as u8),
             cycle: t,
@@ -468,6 +487,8 @@ impl MemorySystem {
                 l1_hit: true,
                 l2_hit: true,
                 tlb_miss,
+                mshr_wait: false,
+                bus_wait: false,
             };
         }
 
@@ -491,6 +512,8 @@ impl MemorySystem {
                 l1_hit: true,
                 l2_hit: true,
                 tlb_miss,
+                mshr_wait: false,
+                bus_wait: false,
             };
         }
 
@@ -508,9 +531,12 @@ impl MemorySystem {
                 l1_hit: false,
                 l2_hit: true,
                 tlb_miss,
+                mshr_wait: false,
+                bus_wait: false,
             };
         }
         let stall_until = self.cores[core].l1d_mshr.next_free_at(miss_seen_at);
+        let l1_mshr_wait = stall_until > miss_seen_at;
         let retired = self.cores[core].l1d_mshr.retire_completed(stall_until);
         if retired > 0 {
             self.emit(ObsEvent::MshrRetire {
@@ -552,6 +578,8 @@ impl MemorySystem {
             l1_hit: false,
             l2_hit: fill.hit,
             tlb_miss,
+            mshr_wait: l1_mshr_wait || fill.mshr_wait,
+            bus_wait: fill.bus_wait,
         }
     }
 
@@ -610,6 +638,8 @@ impl MemorySystem {
             return L2Fill {
                 ready_at: t + l2_lat,
                 hit: true,
+                mshr_wait: false,
+                bus_wait: false,
             };
         }
 
@@ -640,6 +670,8 @@ impl MemorySystem {
             return L2Fill {
                 ready_at: ready,
                 hit: true,
+                mshr_wait: false,
+                bus_wait: false,
             };
         }
 
@@ -654,16 +686,22 @@ impl MemorySystem {
                 return L2Fill {
                     ready_at: ready,
                     hit: false,
+                    mshr_wait: false,
+                    bus_wait: false,
                 };
             }
             return L2Fill {
                 ready_at: ready,
                 hit: false,
+                mshr_wait: false,
+                bus_wait: false,
             };
         }
 
         // Primary L2 miss: stall for an MSHR, then go off-core.
-        let t = self.cores[core].l2_mshr.next_free_at(t + l2_lat);
+        let miss_seen_at = t + l2_lat;
+        let t = self.cores[core].l2_mshr.next_free_at(miss_seen_at);
+        let l2_mshr_wait = t > miss_seen_at;
         let retired = self.cores[core].l2_mshr.retire_completed(t);
         if retired > 0 {
             self.emit(ObsEvent::MshrRetire {
@@ -673,11 +711,13 @@ impl MemorySystem {
                 retired: retired as u32,
             });
         }
+        self.bus_queued = false;
         let data_at = if self.smp {
             self.miss_coherent(core, line_addr, t, write_intent)
         } else {
             self.miss_from_memory(core, line_addr, t, 0)
         };
+        let bus_wait = self.bus_queued;
 
         self.cores[core].l2_mshr.allocate(line_addr, data_at);
         self.emit(ObsEvent::MshrAlloc {
@@ -703,6 +743,8 @@ impl MemorySystem {
         L2Fill {
             ready_at: data_at,
             hit: false,
+            mshr_wait: l2_mshr_wait,
+            bus_wait,
         }
     }
 

@@ -1,0 +1,65 @@
+//! Folded-stack (flamegraph-compatible) export of CPI taxonomy data.
+//!
+//! The folded format is one stack per line, frames joined by `;`, a
+//! space, then the sample count — exactly what `flamegraph.pl` and
+//! `inferno-flamegraph` consume. We emit the taxonomy as a three-frame
+//! stack (`workload;group;leaf count`), so a flamegraph of a campaign
+//! shows workloads at the root, blame groups in the middle and leaves
+//! at the tips, widths proportional to attributed cycles.
+
+use crate::cpi::{CpiLeaf, CpiStack};
+
+/// One folded line for a single leaf: `workload;group;leaf value`.
+/// Semicolons in the workload name are replaced with `:` so they can't
+/// corrupt the frame structure.
+pub fn folded_line(workload: &str, leaf: CpiLeaf, value: u64) -> String {
+    format!(
+        "{};{};{} {}\n",
+        workload.replace(';', ":"),
+        leaf.group().label(),
+        leaf.label(),
+        value
+    )
+}
+
+/// All non-zero leaves of one stack as folded lines, in cell order.
+pub fn folded_stack(workload: &str, stack: &CpiStack) -> String {
+    let mut out = String::new();
+    for (leaf, cycles) in stack.leaves() {
+        if cycles > 0 {
+            out.push_str(&folded_line(workload, leaf, cycles));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_are_flamegraph_shaped() {
+        let mut s = CpiStack::default();
+        s.record_n(CpiLeaf::Retire, 10);
+        s.record_n(CpiLeaf::MemDram, 4);
+        let folded = folded_stack("TPC-C", &s);
+        assert_eq!(
+            folded,
+            "TPC-C;retire;retire 10\nTPC-C;backend-memory;dram 4\n"
+        );
+        // Every line: exactly one space, count parses, three frames.
+        for line in folded.lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("space separator");
+            assert!(count.parse::<u64>().is_ok());
+            assert_eq!(stack.split(';').count(), 3);
+        }
+    }
+
+    #[test]
+    fn zero_leaves_are_omitted_and_semicolons_sanitized() {
+        let s = CpiStack::default();
+        assert!(folded_stack("x", &s).is_empty());
+        let line = folded_line("a;b", CpiLeaf::Retire, 1);
+        assert_eq!(line, "a:b;retire;retire 1\n");
+    }
+}

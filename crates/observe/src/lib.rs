@@ -22,15 +22,19 @@
 //! emits which event, and how observation composes with the engine's
 //! result cache — lives in `s64v-core::observe` and `s64v-harness`.
 
+pub mod cpi;
 pub mod diagram;
 pub mod event;
+pub mod folded;
 pub mod interval;
 pub mod json;
 pub mod perfetto;
 pub mod stage;
 
+pub use cpi::{CpiGroup, CpiLeaf, CpiStack, MemBlame, CPI_LEAVES};
 pub use diagram::render_pipeline;
 pub use event::{BusId, CacheLevel, CohAction, EventLog, ObsEvent, Probe};
+pub use folded::{folded_line, folded_stack};
 pub use interval::{to_jsonl, CpuInterval, IntervalSample, STALL_LABELS};
 pub use perfetto::{perfetto_json, perfetto_trace};
 pub use stage::InstrTimeline;

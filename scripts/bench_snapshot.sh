@@ -4,10 +4,11 @@
 # so successive PRs leave a uniform, diffable record of simulator
 # throughput (ROADMAP: "regressions are invisible until this exists").
 #
-# Each snapshot also records the git revision it measured and the host
-# core count, so numbers from different machines or stale checkouts are
-# never silently compared, and per-suite simulated-cycles/sec alongside
-# records/sec (cycles/s is the honest unit for the cycle kernel).
+# Each snapshot also records host metadata — git revision, branch, a
+# dirty flag, and the host core count — so numbers from different
+# machines, stale checkouts or uncommitted trees are never silently
+# compared, and per-suite simulated-cycles/sec alongside records/sec
+# (cycles/s is the honest unit for the cycle kernel).
 #
 # Usage: scripts/bench_snapshot.sh <n>   (from the repository root)
 # Example: scripts/bench_snapshot.sh 6   -> BENCH_6.json
@@ -20,7 +21,20 @@ rm -rf "$scratch"
 mkdir -p "$scratch"
 
 rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
-cores="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo unknown)"
+# Detached HEAD (CI checkouts) has no symbolic ref; fall back to HEAD.
+branch="$(git symbolic-ref --short -q HEAD 2>/dev/null || echo HEAD)"
+# Dirty means the measured tree differs from git_rev: refuse to let an
+# uncommitted optimization masquerade as the committed revision's speed.
+if git diff --quiet HEAD 2>/dev/null && git diff --cached --quiet 2>/dev/null; then
+    dirty=false
+else
+    dirty=true
+fi
+# Core count, most-portable first; "unknown" stays a JSON string.
+cores="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || true)"
+case "$cores" in
+    ''|*[!0-9]*) cores='"unknown"' ;;
+esac
 
 echo "== micro-benchmarks (cargo bench -p s64v-bench --bench sim_speed)"
 cargo bench -p s64v-bench --bench sim_speed | tee "$scratch/bench.txt"
@@ -38,7 +52,8 @@ grep '^campaign:' "$scratch/campaign.txt"
 #   trace_generation/SPECint95: 2.345 ms/iter, 42000000 elem/s
 # and the campaign epilogue like
 #   campaign: 12 completed (0 from cache), 0 failed, 0.42M records simulated in 1.3s (320K rec/s)
-awk -v n="$n" -v date="$(date -u +%Y-%m-%d)" -v rev="$rev" -v cores="$cores" '
+awk -v n="$n" -v date="$(date -u +%Y-%m-%d)" -v rev="$rev" -v branch="$branch" \
+    -v dirty="$dirty" -v cores="$cores" '
 FILENAME ~ /bench.txt/ && /elem\/s/ {
     split($0, halves, ": ")
     key = halves[1]
@@ -63,6 +78,8 @@ END {
     printf "  \"snapshot\": %s,\n", n
     printf "  \"date\": \"%s\",\n", date
     printf "  \"git_rev\": \"%s\",\n", rev
+    printf "  \"git_branch\": \"%s\",\n", branch
+    printf "  \"git_dirty\": %s,\n", dirty
     printf "  \"host_cores\": %s,\n", cores
     printf "  \"units\": \"simulated records (or generated records) per second, best iteration\",\n"
     printf "  \"rates\": {\n"

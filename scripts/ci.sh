@@ -35,16 +35,25 @@ S64V_SEED=42 S64V_RESULTS_DIR="$OBS_SCRATCH/results" \
 cargo run --release -p s64v-harness --bin campaign -- \
     --figures fig08_issue_width \
     --trace "" --metrics --cache-dir "$OBS_SCRATCH/cache" --quiet > /dev/null
-# Every point must have written all three artifacts; validate them all
-# in one invocation (an unmatched glob reaches the validator as a
-# nonexistent path and fails the check, so absence is caught too).
+# Every point must have written all four artifacts (the top-down
+# .cpi.json stacks ride along on every simulating campaign); validate
+# them all in one invocation (an unmatched glob reaches the validator as
+# a nonexistent path and fails the check, so absence is caught too).
 set --
 for artifact in "$OBS_SCRATCH"/cache/*.trace.json \
                 "$OBS_SCRATCH"/cache/*.pipeline.txt \
-                "$OBS_SCRATCH"/cache/*.metrics.jsonl; do
+                "$OBS_SCRATCH"/cache/*.metrics.jsonl \
+                "$OBS_SCRATCH"/cache/*.cpi.json; do
     set -- "$@" --check-artifact "$artifact"
 done
 cargo run --release -p s64v-harness --bin campaign -- "$@" > /dev/null 2>&1
+# A self-diff over the cache directory must attribute cleanly (zero
+# deltas, zero unattributed regression) — the loader, the label
+# aggregation and the folded export all get exercised.
+cargo run --release -p s64v-harness --bin campaign -- \
+    perf "$OBS_SCRATCH/cache" "$OBS_SCRATCH/cache" \
+    --folded "$OBS_SCRATCH/folded.txt" --fail-threshold 0 > /dev/null
+test -s "$OBS_SCRATCH/folded.txt"
 rm -rf "$OBS_SCRATCH"
 
 echo "== exploration smoke query (answer must match the committed golden)"
@@ -118,6 +127,21 @@ END {
     exit status
 }' specs/bench_floor.json "$BENCH_SCRATCH/smoke.txt"
 rm -rf "$BENCH_SCRATCH"
+
+echo "== perf diff smoke (BENCH trajectory must not regress unattributed)"
+# Diff the two most recent committed BENCH_<n>.json snapshots. BENCH
+# files carry throughput rates but no CPI stacks, so any regression in
+# them is unattributed; one worse than 30% fails the gate — someone
+# must either explain it with a cache-dir CPI diff or fix it.
+recent=$(ls BENCH_*.json | sort -t_ -k2 -n | tail -2)
+prev=$(echo "$recent" | head -1)
+latest=$(echo "$recent" | tail -1)
+if [ "$prev" != "$latest" ]; then
+    cargo run --release -p s64v-harness --bin campaign -- \
+        perf "$prev" "$latest" --fail-threshold 30
+else
+    echo "perf-diff: fewer than two BENCH snapshots, skipping"
+fi
 
 echo "== chaos soak (supervised runtime must absorb every injected fault)"
 # Torn cache writes, truncated journal appends, injected hangs and
