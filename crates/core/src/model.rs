@@ -7,7 +7,7 @@ use crate::system::{RunResult, SystemConfig};
 use s64v_cpu::Core;
 use s64v_mem::MemorySystem;
 use s64v_observe::RunObservation;
-use s64v_trace::{SliceStream, TraceStream, VecTrace};
+use s64v_trace::{SamplePlan, SliceStream, TraceStream, VecTrace};
 
 /// Cooperative supervision of one run: a simulated-cycle ceiling and an
 /// external cancellation flag, both polled from inside the cycle loop.
@@ -570,6 +570,68 @@ impl PerformanceModel {
         }
     }
 
+    /// Simulates one detailed window of a long trace in isolation
+    /// (SMARTS-style *limited* warming): functionally fast-forwards the
+    /// `warm` records immediately preceding `start` (anything earlier is
+    /// skipped cold — warming is bounded, so the per-window cost is
+    /// O(warm + len) regardless of where the window sits), then times
+    /// exactly `[start, start + len)` on a fresh core and memory system.
+    /// Windows are fully independent of one another, which is what lets
+    /// the harness fingerprint, cache and parallelize them as ordinary
+    /// campaign points.
+    ///
+    /// # Panics
+    ///
+    /// Panics on contract misuse (non-UP config, empty or out-of-range
+    /// window), never on a simulation fault.
+    pub fn try_run_trace_window(
+        &self,
+        trace: &VecTrace,
+        start: usize,
+        len: usize,
+        warm: usize,
+        opts: RunOptions,
+    ) -> Result<RunResult, SimError> {
+        assert_eq!(self.config.cpus, 1, "sampled windows are uniprocessor");
+        let records = trace.records();
+        assert!(len > 0, "empty window");
+        assert!(start + len <= records.len(), "window exceeds the trace");
+        let mut mem = MemorySystem::new(self.config.mem.clone(), 1);
+        let mut core = Core::new(self.config.core.clone(), 0);
+        let warm_from = start.saturating_sub(warm);
+        let mut warm_stream = SliceStream::new(&records[warm_from..start]);
+        core.fast_forward(&mut mem, &mut warm_stream, (start - warm_from) as u64);
+        let mut streams = [SliceStream::new(&records[start..start + len])];
+        let mut cores = [core];
+        let cycles = drive(&mut cores, &mut mem, &mut streams, opts, None)?;
+        Ok(collect_result(cycles, &cores, &mem))
+    }
+
+    /// Runs every detailed window of `plan` over `trace` independently
+    /// (each via [`PerformanceModel::try_run_trace_window`]) and returns
+    /// the per-window results in window order. This is the sequential
+    /// reference form of sampled simulation; the harness distributes the
+    /// same windows across its worker pool instead.
+    pub fn try_run_trace_plan(
+        &self,
+        trace: &VecTrace,
+        plan: &SamplePlan,
+        opts: RunOptions,
+    ) -> Result<Vec<RunResult>, SimError> {
+        plan.windows(trace.len() as u64)
+            .into_iter()
+            .map(|(start, len)| {
+                self.try_run_trace_window(
+                    trace,
+                    start as usize,
+                    len as usize,
+                    plan.warmup as usize,
+                    opts.clone(),
+                )
+            })
+            .collect()
+    }
+
     /// Runs an arbitrary stream on a uniprocessor instance (for generated
     /// streams that are never materialized).
     pub fn run_stream<S: TraceStream>(&self, mut stream: S) -> RunResult {
@@ -707,5 +769,79 @@ mod sampled_tests {
         let t = suite.programs()[0].generate(20_000, 5);
         let model = PerformanceModel::new(SystemConfig::sparc64_v());
         let _ = model.run_trace_sampled(&t, &[(5_000, 5_000), (8_000, 2_000)]);
+    }
+
+    #[test]
+    fn independent_windows_commit_exactly_their_records() {
+        let suite = Suite::preset(SuiteKind::SpecInt95);
+        let t = suite.programs()[0].generate(60_000, 5);
+        let model = PerformanceModel::new(SystemConfig::sparc64_v());
+        let r = model
+            .try_run_trace_window(&t, 20_000, 5_000, 4_000, RunOptions::default())
+            .unwrap();
+        assert_eq!(r.committed, 5_000);
+        assert!(r.cycles > 0);
+        // A window is independent of everything after it: truncating the
+        // trace right at the window's end must not change the result.
+        let truncated = s64v_trace::VecTrace::from_records(t.records()[..25_000].to_vec());
+        let r2 = model
+            .try_run_trace_window(&truncated, 20_000, 5_000, 4_000, RunOptions::default())
+            .unwrap();
+        assert_eq!(r.cycles, r2.cycles);
+        assert_eq!(r.committed, r2.committed);
+    }
+
+    #[test]
+    fn plan_windows_match_individual_windows() {
+        let suite = Suite::preset(SuiteKind::SpecInt95);
+        let t = suite.programs()[1].generate(50_000, 5);
+        let model = PerformanceModel::new(SystemConfig::sparc64_v());
+        let plan = SamplePlan::new(16_000, 4_000, 3_000, 42);
+        let per_window = model
+            .try_run_trace_plan(&t, &plan, RunOptions::default())
+            .unwrap();
+        let windows = plan.windows(t.len() as u64);
+        assert_eq!(per_window.len(), windows.len());
+        for (r, &(start, len)) in per_window.iter().zip(&windows) {
+            let lone = model
+                .try_run_trace_window(
+                    &t,
+                    start as usize,
+                    len as usize,
+                    plan.warmup as usize,
+                    RunOptions::default(),
+                )
+                .unwrap();
+            assert_eq!(r.cycles, lone.cycles, "window at {start} differs");
+            assert_eq!(r.committed, len);
+        }
+    }
+
+    #[test]
+    fn window_results_are_skip_and_checked_invariant() {
+        let suite = Suite::preset(SuiteKind::Tpcc);
+        let t = suite.programs()[0].generate(40_000, 9);
+        let model = PerformanceModel::new(SystemConfig::sparc64_v());
+        let base = model
+            .try_run_trace_window(&t, 10_000, 6_000, 5_000, RunOptions::default())
+            .unwrap();
+        let no_skip = model
+            .try_run_trace_window(
+                &t,
+                10_000,
+                6_000,
+                5_000,
+                RunOptions {
+                    no_skip: true,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+        let checked = model
+            .try_run_trace_window(&t, 10_000, 6_000, 5_000, RunOptions::checked())
+            .unwrap();
+        assert_eq!(base.cycles, no_skip.cycles);
+        assert_eq!(base.cycles, checked.cycles);
+        assert_eq!(base.committed, checked.committed);
     }
 }

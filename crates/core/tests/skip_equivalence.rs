@@ -9,6 +9,8 @@
 //! fingerprints could derive from).
 
 use s64v_core::{ObserveConfig, PerformanceModel, RunOptions, SystemConfig};
+use s64v_observe::CpiStack;
+use s64v_trace::SamplePlan;
 use s64v_workloads::{smp_traces, suite::tpcc_program, Suite, SuiteKind};
 
 const SEEDS: [u64; 3] = [1, 5, 11];
@@ -154,6 +156,62 @@ fn checked_runs_agree_with_skipped_plain_runs() {
         .try_run_trace(&trace, RunOptions::checked())
         .expect("no invariant fires");
     assert_eq!(format!("{plain:?}"), format!("{checked:?}"));
+}
+
+#[test]
+fn sampled_windows_conserve_cpi_in_aggregate_on_every_suite() {
+    // Sampled simulation slices a trace into independent detailed
+    // windows; the harness then merges their CPI stacks into one
+    // aggregate artifact. That merge is only honest if every window's
+    // stack conserves its own simulated cycles — under skipping, under
+    // stepping, and under the checked-mode auditor alike. Pin all three
+    // on every suite (the five uniprocessor figure suites here, the SMP
+    // TPC-C configuration in `tpcc_matches_on_up_and_smp` above).
+    let model = PerformanceModel::new(SystemConfig::sparc64_v());
+    let plan = SamplePlan::new(4_000, 1_500, 2_000, 0);
+    for kind in SuiteKind::ALL {
+        let suite = Suite::preset(kind);
+        for &seed in &SEEDS {
+            let trace = suite.programs()[0].generate(14_000, seed);
+            let skipped = model
+                .try_run_trace_plan(&trace, &plan, RunOptions::default())
+                .expect("clean run");
+            let stepped = model
+                .try_run_trace_plan(&trace, &plan, no_skip())
+                .expect("clean run");
+            let checked = model
+                .try_run_trace_plan(&trace, &plan, RunOptions::checked())
+                .expect("no invariant fires");
+            assert_eq!(
+                format!("{skipped:?}"),
+                format!("{stepped:?}"),
+                "{kind:?}/seed{seed}: skipping changed a sampled window"
+            );
+            assert_eq!(
+                format!("{skipped:?}"),
+                format!("{checked:?}"),
+                "{kind:?}/seed{seed}: the auditor changed a sampled window"
+            );
+            // Aggregate rejects any window whose stack fails to conserve
+            // that window's cycles; the merged stack must then conserve
+            // the summed cycles exactly — no cycle lost or double-blamed
+            // across window boundaries.
+            let stacks: Vec<(CpiStack, u64)> = skipped
+                .iter()
+                .map(|r| (r.core_stats[0].cpi, r.cycles))
+                .collect();
+            let (agg, cycles) = CpiStack::aggregate(stacks.iter().map(|(s, c)| (s, *c)))
+                .unwrap_or_else(|e| panic!("{kind:?}/seed{seed}: {e}"));
+            let total: u64 = skipped.iter().map(|r| r.cycles).sum();
+            assert_eq!(cycles, total, "{kind:?}/seed{seed}: aggregate cycle sum");
+            assert!(
+                agg.conserves(total),
+                "{kind:?}/seed{seed}: aggregated stack sums {} != {total} cycles",
+                agg.total()
+            );
+            assert!(!skipped.is_empty() && total > 0);
+        }
+    }
 }
 
 #[test]

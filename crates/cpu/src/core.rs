@@ -288,6 +288,31 @@ impl Core {
         }
     }
 
+    /// Functional fast-forward: replays a stream through [`Core::warm`]
+    /// until it is exhausted or `limit` records have been consumed,
+    /// returning how many were replayed. Caches, TLBs and the branch
+    /// predictor observe every record; no pipeline timing state
+    /// (ROB/RS/LSQ) is touched and no cycles elapse, so a detailed
+    /// window started afterwards sees warmed micro-architectural state
+    /// at cycle zero. This is the SMARTS-style warming mode sampled
+    /// simulation interleaves between detailed windows.
+    pub fn fast_forward<S: TraceStream>(
+        &mut self,
+        mem: &mut MemorySystem,
+        stream: &mut S,
+        limit: u64,
+    ) -> u64 {
+        let mut replayed = 0;
+        while replayed < limit {
+            let Some(rec) = stream.next_record() else {
+                break;
+            };
+            self.warm(mem, &rec);
+            replayed += 1;
+        }
+        replayed
+    }
+
     /// Advances one cycle.
     ///
     /// # Panics

@@ -11,6 +11,9 @@
 //!          [--threads N] [--cache-dir DIR] [--no-cache] [--quiet]
 //! campaign serve [--out DIR] [--answer-only] [--fresh]
 //!          [--threads N] [--cache-dir DIR] [--no-cache] [--quiet]
+//! campaign validate [--tolerance PCT] [--windows N] [--window N]
+//!          [--sample-warmup N] [--under-warm] [--out FILE]
+//!          [--threads N] [--cache-dir DIR] [--no-cache] [--checked] [--quiet]
 //! campaign soak [--seed N] [--rate PER_MILLE] [--dir DIR]
 //!          [--threads N] [--quiet]
 //! campaign perf BASE NEW [--folded PATH] [--fail-threshold PCT]
@@ -25,6 +28,18 @@
 //! `--checked` runs every point under the invariant auditor (identical
 //! results, simulation-integrity errors instead of silent corruption);
 //! failed points leave a JSON diagnostic dump next to their cache entry.
+//!
+//! `validate` is the sampled-simulation accuracy gate (the Fig 19
+//! discipline applied to our own sampling engine): it runs every
+//! uniprocessor figure workload twice — once in full detail, once as a
+//! plan of independently cached detailed windows with functional
+//! warm-up — and exits nonzero unless each workload's sampled IPC lands
+//! within the tolerance (default 2%) of the full-detail IPC *and* the
+//! reported 95% confidence interval covers it *and* the aggregated
+//! per-window CPI stacks conserve their cycles. `--under-warm` disables
+//! per-window warm-up, the negative control CI uses to prove the gate
+//! detects warming bias. `--out FILE` writes the deterministic JSON
+//! report the CI smoke stage diffs against its golden.
 //!
 //! `soak` is the supervision layer's chaos gate: it runs a small fixed
 //! campaign once undisturbed and twice under a seeded chaos schedule
@@ -79,13 +94,18 @@ use s64v_core::{ChaosPlan, SystemConfig};
 use s64v_explore::{ExploreEvent, ExploreReport, ExploreSpec};
 use s64v_harness::engine::{run_campaign, CampaignOutcome, PointOutcome};
 use s64v_harness::explore::{run_explore, ExploreOpts};
+use s64v_harness::figures::PointStore;
 use s64v_harness::figures::{figure_names, run_figures, EngineOpts};
 use s64v_harness::journal::{journal_path, Journal};
-use s64v_harness::perf::{validate_cpi_artifact, PerfDiff, PerfSource};
+use s64v_harness::perf::{sampled_cpi_artifact, validate_cpi_artifact, PerfDiff, PerfSource};
 use s64v_harness::progress::ProgressEvent;
 use s64v_harness::spec::{CampaignSpec, HarnessOpts, SimPoint, WorkUnit};
-use s64v_harness::supervise::{unseal_lenient, SupervisePolicy};
+use s64v_harness::supervise::{atomic_write, unseal_lenient, SupervisePolicy};
+use s64v_harness::validate::{
+    assess, full_point, sampled_points, validate_workloads, SampleOpts, DEFAULT_TOLERANCE,
+};
 use s64v_observe::json::Value;
+use s64v_stats::Z95;
 use s64v_workloads::SuiteKind;
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
@@ -106,6 +126,9 @@ fn usage() -> ! {
          \x20      campaign serve [--out DIR] [--answer-only] [--fresh]\n\
          \x20               [--threads N] [--cache-dir DIR] [--no-cache]\n\
          \x20               [--deadline SECS] [--cycle-budget N] [--retries N] [--quiet]\n\
+         \x20      campaign validate [--tolerance PCT] [--windows N] [--window N]\n\
+         \x20               [--sample-warmup N] [--under-warm] [--out FILE]\n\
+         \x20               [--threads N] [--cache-dir DIR] [--no-cache] [--checked] [--quiet]\n\
          \x20      campaign soak [--seed N] [--rate PER_MILLE] [--dir DIR]\n\
          \x20               [--threads N] [--quiet]\n\
          \x20      campaign perf BASE NEW [--folded PATH] [--fail-threshold PCT]\n\
@@ -812,12 +835,208 @@ fn perf_main(args: impl Iterator<Item = String>) -> ! {
     std::process::exit(0);
 }
 
+/// `campaign validate`: the sampled-simulation accuracy gate. Runs the
+/// full-detail reference campaign and the sampled-window campaign
+/// (timed separately, so the epilogue can report the sampled-mode
+/// speedup), assembles the A/B report, writes per-workload aggregate
+/// `.sampled.cpi.json` artifacts into the cache directory, and exits
+/// nonzero unless every workload passes the gate: sampled IPC within
+/// tolerance of full detail, confidence interval covering the
+/// full-detail value, and per-window CPI stacks conserving their cycles.
+fn validate_main(args: impl Iterator<Item = String>) -> ! {
+    let opts = HarnessOpts::from_env();
+    let mut engine = EngineOpts::from_env();
+    let mut sample = SampleOpts::from_env(&opts);
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut quiet = false;
+    let mut out: Option<PathBuf> = None;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                engine.threads = Some(n.max(1));
+            }
+            "--cache-dir" => {
+                engine.cache_dir = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
+            "--no-cache" => engine.cache_dir = None,
+            "--checked" => engine.checked = true,
+            "--quiet" => quiet = true,
+            "--tolerance" => {
+                let pct: f64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|p: &f64| *p > 0.0)
+                    .unwrap_or_else(|| usage());
+                tolerance = pct / 100.0;
+            }
+            "--windows" => {
+                sample.windows = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n: &usize| *n >= 2)
+                    .unwrap_or_else(|| usage());
+            }
+            "--window" => {
+                sample.window = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n: &usize| *n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            "--sample-warmup" => {
+                sample.warmup = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            // The negative control: no per-window warm-up at all. The
+            // gate is expected to FAIL under this flag — cold caches
+            // bias every window slow — which is how CI proves the gate
+            // can actually catch insufficient warming.
+            "--under-warm" => sample.warmup = 0,
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let workloads = validate_workloads();
+    let full_points: Vec<SimPoint> = workloads
+        .iter()
+        .map(|&(kind, index)| full_point(kind, index, &opts))
+        .collect();
+    let window_points: Vec<SimPoint> = workloads
+        .iter()
+        .flat_map(|&(kind, index)| sampled_points(kind, index, &opts, &sample))
+        .collect();
+
+    let run = |name: &str, points: Vec<SimPoint>| {
+        let mut spec = CampaignSpec::new(name, points);
+        spec.threads = engine.threads;
+        spec.cache_dir = engine.cache_dir.clone();
+        spec.checked = engine.checked;
+        spec.supervise = engine.supervise.clone();
+        let (tx, printer) = spawn_printer(quiet);
+        let started = std::time::Instant::now();
+        let outcome = run_campaign(&spec, Some(tx));
+        printer.join().expect("progress printer panicked");
+        match outcome {
+            Ok(o) => (o, started.elapsed()),
+            Err(e) => {
+                eprintln!("validate error: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    let (full_outcome, full_wall) = run("validate-full", full_points.clone());
+    let (sampled_outcome, sampled_wall) = run("validate-sampled", window_points.clone());
+
+    let mut failed_points = 0usize;
+    for (outcome, points) in [
+        (&full_outcome, &full_points),
+        (&sampled_outcome, &window_points),
+    ] {
+        for (i, error, _) in outcome.failures() {
+            eprintln!("failed point: {}: {error}", points[i].label());
+            failed_points += 1;
+        }
+    }
+
+    let mut all_points = full_points;
+    let mut outcomes = full_outcome.outcomes;
+    all_points.extend(window_points);
+    outcomes.extend(sampled_outcome.outcomes);
+    let store = PointStore::from_run(&all_points, &outcomes);
+
+    let report = match assess(&opts, &sample, tolerance, Z95, &store) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("validate error: {e}");
+            std::process::exit(if failed_points > 0 { 1 } else { 2 });
+        }
+    };
+
+    s64v_harness::banner(
+        "Sampled-simulation accuracy validation",
+        "Fig 19 discipline",
+        &format!(
+            "sampled IPC within {:.1}% of full detail, 95% CI covering it",
+            tolerance * 100.0
+        ),
+    );
+    s64v_harness::emit("sampling_accuracy", &report.table());
+
+    // Per-workload aggregate artifacts: the standard `.cpi.json` schema
+    // built from the merged window stacks, keyed by the full-detail
+    // point's fingerprint (`<fp>.sampled.cpi.json` next to its entry).
+    if let Some(dir) = &engine.cache_dir {
+        for (&(kind, index), w) in workloads.iter().zip(&report.workloads) {
+            let fp = full_point(kind, index, &opts).fingerprint();
+            let label = format!("{} sampled", w.label);
+            match sampled_cpi_artifact(&label, fp, &w.windows, &w.ipc, report.z) {
+                Ok(text) => {
+                    let path = dir.join(format!("{}.sampled.cpi.json", fp.to_hex()));
+                    if let Err(e) = atomic_write(&path, text.as_bytes()) {
+                        eprintln!("warning: could not write {}: {e}", path.display());
+                    }
+                }
+                Err(e) => eprintln!("warning: no aggregate artifact for {label}: {e}"),
+            }
+        }
+    }
+
+    if let Some(path) = &out {
+        let text = format!("{:#}\n", report.to_value());
+        if let Err(e) = atomic_write(path, text.as_bytes()) {
+            eprintln!("validate error: could not write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!("validate: wrote report to {}", path.display());
+    }
+
+    // The speedup epilogue: both campaigns estimate the same simulated
+    // region, so end-to-end rates are represented-records over wall time.
+    // Only meaningful on a cold cache (cache hits skip simulation).
+    let represented = (workloads.len() * opts.records) as f64;
+    let rate = |wall: std::time::Duration| represented / wall.as_secs_f64().max(1e-9) / 1_000.0;
+    eprintln!(
+        "validate: full-detail {:.1}s ({:.0}K rec/s), sampled {:.1}s ({:.0}K rec/s), speedup {:.1}x",
+        full_wall.as_secs_f64(),
+        rate(full_wall),
+        sampled_wall.as_secs_f64(),
+        rate(sampled_wall),
+        full_wall.as_secs_f64() / sampled_wall.as_secs_f64().max(1e-9),
+    );
+
+    for line in report.failures() {
+        eprintln!("validate FAILED: {line}");
+    }
+    if failed_points > 0 {
+        eprintln!("validate FAILED: {failed_points} point(s) did not simulate");
+    }
+    std::process::exit(if failed_points == 0 && report.passed() {
+        0
+    } else {
+        1
+    });
+}
+
 fn main() {
     let mut raw = std::env::args().skip(1).peekable();
     match raw.peek().map(String::as_str) {
         Some("explore") => {
             raw.next();
             explore_main(raw);
+        }
+        Some("validate") => {
+            raw.next();
+            validate_main(raw);
         }
         Some("serve") => {
             raw.next();

@@ -36,8 +36,9 @@ use s64v_core::{
     RunOptions, RunResult, SimError,
 };
 use s64v_observe::{perfetto_json, render_pipeline, to_jsonl};
-use s64v_workloads::{smp_traces, suite::tpcc_program, Suite};
-use std::collections::VecDeque;
+use s64v_trace::VecTrace;
+use s64v_workloads::{smp_traces, suite::tpcc_program, Suite, SuiteKind};
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -165,6 +166,50 @@ impl StealDeques {
     }
 }
 
+/// Key of one generated trace: (suite, program index, length, seed).
+type TraceKey = (SuiteKind, usize, usize, u64);
+
+/// Bound on distinct traces held by [`shared_trace`] at once. Sampled
+/// campaigns touch each workload's trace from many window points but
+/// only a handful of workloads concurrently, so a small cache captures
+/// nearly all reuse while bounding memory on long traces.
+const TRACE_CACHE_CAP: usize = 4;
+
+/// One trace's cache slot: an `Arc`'d `OnceLock` so concurrent first
+/// requests block on a single generation.
+type TraceSlot = Arc<std::sync::OnceLock<Arc<VecTrace>>>;
+
+fn trace_cache() -> &'static Mutex<HashMap<TraceKey, TraceSlot>> {
+    static CACHE: std::sync::OnceLock<Mutex<HashMap<TraceKey, TraceSlot>>> =
+        std::sync::OnceLock::new();
+    CACHE.get_or_init(Default::default)
+}
+
+/// Returns the `(suite, index)` program's generated trace of `records`
+/// records, shared process-wide. Every window point of one sampled plan
+/// needs the *same* full trace; generating it once and handing out
+/// `Arc`s keeps a sampled campaign's generation cost O(trace) instead
+/// of O(windows × trace). Generation is deterministic, so sharing can
+/// never change results; concurrent first requests block on one
+/// `OnceLock` so the trace is built exactly once.
+fn shared_trace(suite: SuiteKind, index: usize, records: usize, seed: u64) -> Arc<VecTrace> {
+    let key = (suite, index, records, seed);
+    let slot = {
+        let mut map = trace_cache().lock().unwrap_or_else(|e| e.into_inner());
+        if map.len() >= TRACE_CACHE_CAP && !map.contains_key(&key) {
+            // Evict everything: in-flight users keep their `Arc`s, and a
+            // campaign revisiting an evicted trace just regenerates it.
+            map.retain(|_, slot| slot.get().is_none());
+            if map.len() >= TRACE_CACHE_CAP {
+                map.clear();
+            }
+        }
+        map.entry(key).or_default().clone()
+    };
+    slot.get_or_init(|| Arc::new(Suite::preset(suite).programs()[index].generate(records, seed)))
+        .clone()
+}
+
 /// Runs one point to completion, returning a simulation fault (a wedged
 /// pipeline, or — in checked mode — an invariant violation) as a
 /// structured [`SimError`]. Pure: everything derives from the point and
@@ -209,6 +254,28 @@ pub fn try_execute_point(point: &SimPoint, opts: RunOptions) -> Result<PointMetr
                 same_work: check.passed(),
                 ..PointMetrics::default()
             })
+        }
+        WorkUnit::SampledWindow {
+            suite,
+            index,
+            start,
+            len,
+        } => {
+            // `point.records` is the *full trace length* here; only the
+            // `point.warmup` records before `start` are functionally
+            // replayed and only the window itself is timed. The trace is
+            // generated once per plan and shared across its window
+            // points, so a window's cost is O(warmup + len) no matter
+            // how long the trace is.
+            let trace = shared_trace(suite, index, point.records, point.seed);
+            let model = PerformanceModel::new(point.config.clone());
+            Ok(metrics_from(&model.try_run_trace_window(
+                &trace,
+                start,
+                len,
+                point.warmup,
+                opts,
+            )?))
         }
     }
 }
@@ -255,7 +322,12 @@ pub fn try_execute_point_observed(
             let (r, obs) = model.try_run_traces_warm_observed(&traces, point.warmup, opts, ocfg)?;
             Ok((metrics_from(&r), obs))
         }
-        WorkUnit::Verify { .. } => Ok((try_execute_point(point, opts)?, RunObservation::default())),
+        // Verify drives two machines through `compare`; sampled windows
+        // measure steady-state statistics, not instruction narratives.
+        // Both run unobserved and return an empty observation.
+        WorkUnit::Verify { .. } | WorkUnit::SampledWindow { .. } => {
+            Ok((try_execute_point(point, opts)?, RunObservation::default()))
+        }
     }
 }
 
@@ -271,11 +343,14 @@ fn pipeline_text(obs: &RunObservation) -> String {
     out
 }
 
-/// Trace records a point covers (warm-up included, all CPUs).
+/// Trace records a point covers (warm-up included, all CPUs). A sampled
+/// window only touches its functional warm-up (capped at the window
+/// start) plus the timed window, however long the surrounding trace is.
 fn point_records(point: &SimPoint) -> u64 {
     let per_stream = (point.records + point.warmup) as u64;
     match point.work {
         WorkUnit::SmpTpcc => per_stream * point.config.cpus as u64,
+        WorkUnit::SampledWindow { start, len, .. } => (point.warmup.min(start) + len) as u64,
         _ => per_stream,
     }
 }

@@ -1192,6 +1192,30 @@ fn stability_render(o: &HarnessOpts, store: &PointStore) -> Result<(), String> {
     Ok(())
 }
 
+fn sampling_accuracy_points(o: &HarnessOpts) -> Vec<SimPoint> {
+    let s = crate::validate::SampleOpts::from_env(o);
+    crate::validate::all_points(o, &s)
+}
+
+fn sampling_accuracy_render(o: &HarnessOpts, store: &PointStore) -> Result<(), String> {
+    banner(
+        "Sampling accuracy — sampled vs full-detail A/B on every UP workload",
+        "methodology, Fig 19 discipline",
+        "sampled IPC within 2% of full detail; 95% CI covers; per-window CPI conserves",
+    );
+    let s = crate::validate::SampleOpts::from_env(o);
+    let report = crate::validate::assess_default(o, &s, store)?;
+    emit("sampling_accuracy", &report.table());
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!(
+            "sampling accuracy gate failed — {}",
+            report.failures().join("; ")
+        ))
+    }
+}
+
 /// Every simulating experiment, in the evaluation's reporting order.
 pub const FIGURES: &[FigureDef] = &[
     FigureDef {
@@ -1293,6 +1317,11 @@ pub const FIGURES: &[FigureDef] = &[
         name: "stability",
         points: stability_points,
         render: stability_render,
+    },
+    FigureDef {
+        name: "sampling_accuracy",
+        points: sampling_accuracy_points,
+        render: sampling_accuracy_render,
     },
 ];
 
@@ -1518,7 +1547,7 @@ mod tests {
 
     #[test]
     fn registry_is_consistent() {
-        assert_eq!(FIGURES.len(), 20);
+        assert_eq!(FIGURES.len(), 21);
         assert!(figure("fig08_issue_width").is_some());
         assert!(figure("nope").is_none());
         let names = figure_names();

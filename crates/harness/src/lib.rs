@@ -51,16 +51,20 @@ pub mod perf;
 pub mod progress;
 pub mod spec;
 pub mod supervise;
+pub mod validate;
 
 pub use engine::{execute_point, run_campaign, try_execute_point, CampaignOutcome, PointOutcome};
 pub use explore::{load_cached_report, report_path, run_explore, store_report, ExploreOpts};
 pub use figures::{figure, figure_names, run_figures, EngineOpts, FigureDef, RunSummary};
-pub use perf::{cpi_artifact, validate_cpi_artifact, PerfDiff, PerfSource, WorkloadDelta};
+pub use perf::{
+    cpi_artifact, sampled_cpi_artifact, validate_cpi_artifact, PerfDiff, PerfSource, WorkloadDelta,
+};
 pub use progress::{CampaignReport, ProgressEvent};
 pub use spec::{CampaignSpec, HarnessOpts, PointMetrics, SimPoint, WorkUnit};
 pub use supervise::{
     atomic_write, seal, unseal, unseal_lenient, CacheLock, ChaosInjector, SupervisePolicy, Watchdog,
 };
+pub use validate::{SampleOpts, ValidationReport, WorkloadReport, DEFAULT_TOLERANCE};
 
 /// Prints a table and also writes it as CSV under `results/`, or under
 /// `S64V_RESULTS_DIR` when set — smoke campaigns (CI) point it at a

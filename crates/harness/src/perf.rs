@@ -22,6 +22,7 @@ use crate::spec::PointMetrics;
 use s64v_core::fingerprint::Fingerprint;
 use s64v_observe::json::Value;
 use s64v_observe::{folded_stack, CpiGroup, CpiLeaf, CpiStack};
+use s64v_stats::SampleStats;
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -48,6 +49,50 @@ pub fn cpi_artifact(label: &str, fp: Fingerprint, m: &PointMetrics) -> String {
         .field("leaves", stack.to_value())
         .field("groups", groups);
     format!("{doc:#}\n")
+}
+
+/// Renders the sampled-simulation aggregate artifact for one workload:
+/// the standard `.cpi.json` schema built from the merged per-window
+/// stacks — so `--check-artifact` and `campaign perf` accept it
+/// unchanged — plus sampling extras (`windows`, per-window IPC `mean`/
+/// `stderr`/`ci`). Fails when any window's own stack breaks
+/// conservation; the merged stack then conserves the summed cycles by
+/// construction.
+pub fn sampled_cpi_artifact(
+    label: &str,
+    fp: Fingerprint,
+    windows: &[PointMetrics],
+    ipc: &SampleStats,
+    z: f64,
+) -> Result<String, String> {
+    // Windows are uniprocessor runs, so each stack must conserve the
+    // window's *simulated* cycles — checking against `cpi_core_cycles()`
+    // (the cell sum itself) would be a tautology.
+    let stacks: Vec<(CpiStack, u64)> = windows
+        .iter()
+        .map(|m| (CpiStack::from_cells(m.cpi), m.cycles))
+        .collect();
+    let (stack, core_cycles) = CpiStack::aggregate(stacks.iter().map(|(s, c)| (s, *c)))?;
+    let cycles: u64 = windows.iter().map(|m| m.cycles).sum();
+    let committed: u64 = windows.iter().map(|m| m.committed).sum();
+    let mut groups = Value::obj();
+    for g in CpiGroup::ALL {
+        groups = groups.field(g.label(), stack.group_total(g));
+    }
+    let (lo, hi) = ipc.ci(z);
+    let doc = Value::obj()
+        .field("label", label)
+        .field("fingerprint", fp.to_hex())
+        .field("cycles", cycles)
+        .field("core_cycles", core_cycles)
+        .field("committed", committed)
+        .field("leaves", stack.to_value())
+        .field("groups", groups)
+        .field("windows", windows.len())
+        .field("ipc_mean", ipc.mean)
+        .field("ipc_stderr", ipc.stderr)
+        .field("ipc_ci", vec![Value::from(lo), Value::from(hi)]);
+    Ok(format!("{doc:#}\n"))
 }
 
 /// Validates a `.cpi.json` document: every schema field present, all 16
@@ -518,6 +563,29 @@ mod tests {
 
         let err = validate_cpi_artifact(&Value::obj()).unwrap_err();
         assert!(err.contains("label"), "got: {err}");
+    }
+
+    #[test]
+    fn sampled_artifact_validates_and_rejects_broken_windows() {
+        let windows = [
+            metrics(1_000, 800, stack(800, 200)),
+            metrics(1_100, 800, stack(850, 250)),
+        ];
+        let ipc = SampleStats::from_values(&[0.8, 0.7273]).unwrap();
+        let text =
+            sampled_cpi_artifact("tpcc[0] sampled", fp("s"), &windows, &ipc, 1.96).expect("ok");
+        let doc = Value::parse(&text).expect("valid JSON");
+        // The aggregate speaks the standard schema: the strict validator
+        // accepts it, extras and all.
+        validate_cpi_artifact(&doc).expect("conserves");
+        assert_eq!(doc.get("core_cycles").and_then(Value::as_i64), Some(2_100));
+        assert_eq!(doc.get("windows").and_then(Value::as_i64), Some(2));
+        assert!(doc.get("ipc_stderr").and_then(Value::as_f64).is_some());
+
+        // One window with broken accounting poisons the aggregate.
+        let broken = [metrics(1_000, 800, stack(800, 100))];
+        let err = sampled_cpi_artifact("x", fp("s"), &broken, &ipc, 1.96).expect_err("must reject");
+        assert!(err.contains("conservation"), "got: {err}");
     }
 
     #[test]

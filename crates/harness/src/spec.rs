@@ -101,6 +101,22 @@ pub enum WorkUnit {
         /// Index within the suite's program list.
         index: usize,
     },
+    /// One detailed window of a sampled (SMARTS-style) uniprocessor run:
+    /// the point generates the program's full trace (the point's
+    /// `records` is the *trace length*), functionally fast-forwards the
+    /// `warmup` records before `start`, then times `[start, start+len)`.
+    /// Windows of one plan are ordinary independent points — fingerprinted,
+    /// cached and scheduled across the worker pool like any other.
+    SampledWindow {
+        /// Suite the program belongs to.
+        suite: SuiteKind,
+        /// Index within the suite's program list.
+        index: usize,
+        /// First timed record of the window.
+        start: usize,
+        /// Timed records in the window.
+        len: usize,
+    },
 }
 
 /// One simulation: a configuration, a trace, and its lengths.
@@ -150,6 +166,19 @@ impl SimPoint {
             WorkUnit::Verify { suite, index } => {
                 format!("verify:{}[{}] seed={:#x}", suite.label(), index, self.seed)
             }
+            WorkUnit::SampledWindow {
+                suite,
+                index,
+                start,
+                len,
+            } => format!(
+                "{}[{}] w[{}+{}] seed={:#x}",
+                suite.label(),
+                index,
+                start,
+                len,
+                self.seed
+            ),
         }
     }
 }
@@ -428,5 +457,31 @@ mod tests {
         let mut p = point();
         p.work = WorkUnit::SmpTpcc;
         assert!(p.label().contains("tpcc-smp(1P)"));
+        p.work = WorkUnit::SampledWindow {
+            suite: SuiteKind::Tpcc,
+            index: 0,
+            start: 5_000,
+            len: 250,
+        };
+        assert!(p.label().contains("w[5000+250]"), "{}", p.label());
+    }
+
+    #[test]
+    fn sampled_window_fingerprints_are_window_sensitive() {
+        let window = |start: usize, len: usize| {
+            let mut p = point();
+            p.work = WorkUnit::SampledWindow {
+                suite: SuiteKind::SpecInt95,
+                index: 0,
+                start,
+                len,
+            };
+            p
+        };
+        let a = window(100, 50);
+        assert_eq!(a.fingerprint(), window(100, 50).fingerprint());
+        assert_ne!(a.fingerprint(), window(150, 50).fingerprint());
+        assert_ne!(a.fingerprint(), window(100, 51).fingerprint());
+        assert_ne!(a.fingerprint(), point().fingerprint());
     }
 }

@@ -1,0 +1,143 @@
+//! End-to-end tests of the sampled-simulation accuracy-validation
+//! harness: a properly-warmed sampling plan passes the gate on every
+//! figure workload, and an under-warmed plan (the classic sampling
+//! mistake — cold caches at every window start) is *detected* — the
+//! error trips the tolerance and the confidence interval, being tight
+//! around a biased mean, fails to cover the full-detail truth.
+
+use s64v_core::RunOptions;
+use s64v_harness::figures::PointStore;
+use s64v_harness::validate::{
+    all_points, assess, full_point, sampled_points, validate_workloads, SampleOpts,
+};
+use s64v_harness::{try_execute_point, HarnessOpts, PointOutcome, SimPoint};
+use s64v_stats::Z95;
+
+/// Gate tolerance for these reduced sizes. Windows of 3 000 records pay
+/// a window-boundary ramp (fresh pipeline and store buffer at each
+/// window start) of up to ~3.4% here — the ramp shrinks as ~1/window,
+/// and at the production validation geometry (15 000-record windows) it
+/// is under 0.4%, where the default 2% gate applies (pinned by the CI
+/// smoke golden). Everything is deterministic, so 5% cleanly separates
+/// honest boundary ramp from cold-start bias (40%+ below).
+const TOLERANCE: f64 = 0.05;
+
+/// Reduced run sizes: large enough that sampling bias is measurable,
+/// small enough for a debug-build test.
+fn opts() -> HarnessOpts {
+    HarnessOpts {
+        records: 6_000,
+        warmup: 10_000,
+        smp_cpus: 2,
+        smp_records: 1_000,
+        smp_warmup: 1_000,
+        seed: 42,
+    }
+}
+
+/// The validation geometry at these sizes: two windows tiling the timed
+/// region, functionally warmed from the start of the trace.
+fn warmed() -> SampleOpts {
+    let o = opts();
+    SampleOpts {
+        windows: 2,
+        window: o.records / 2,
+        warmup: o.warmup + o.records,
+    }
+}
+
+/// The negative control: the same windows with no functional warm-up at
+/// all, so every window starts on cold caches, TLBs and predictors.
+fn under_warmed() -> SampleOpts {
+    SampleOpts {
+        warmup: 0,
+        ..warmed()
+    }
+}
+
+/// Runs every point sequentially (no pool, no cache — the engine's own
+/// integration tests cover those) into a resolved store.
+fn resolve(points: &[SimPoint]) -> PointStore {
+    let outcomes: Vec<PointOutcome> = points
+        .iter()
+        .map(|p| {
+            let m = try_execute_point(p, RunOptions::default())
+                .unwrap_or_else(|e| panic!("{}: {e:?}", p.label()));
+            PointOutcome::Metrics(Box::new(m))
+        })
+        .collect();
+    PointStore::from_run(points, &outcomes)
+}
+
+#[test]
+fn warmed_sampling_passes_and_under_warmed_sampling_is_detected() {
+    let o = opts();
+    let (warm, cold) = (warmed(), under_warmed());
+
+    // One store holds everything: the full-detail references are shared
+    // between the two assessments (same fingerprints), only the window
+    // points differ (warm-up is part of a point's identity).
+    let mut points = all_points(&o, &warm);
+    for (kind, index) in validate_workloads() {
+        points.extend(sampled_points(kind, index, &o, &cold));
+    }
+    let store = resolve(&points);
+
+    let good = assess(&o, &warm, TOLERANCE, Z95, &store).expect("assess");
+    assert!(
+        good.passed(),
+        "properly-warmed sampling failed the gate:\n{}",
+        good.failures().join("\n")
+    );
+
+    let bad = assess(&o, &cold, TOLERANCE, Z95, &store).expect("assess");
+    assert!(
+        !bad.passed(),
+        "under-warmed sampling passed — the gate lost its bias detector"
+    );
+    // Cold windows are biased on *every* workload at these sizes, and
+    // the bias dwarfs the honest geometry's boundary error.
+    for (g, b) in good.workloads.iter().zip(&bad.workloads) {
+        assert!(
+            !b.passes(TOLERANCE, Z95),
+            "{}: under-warmed windows passed (error {:.2}%)",
+            b.label,
+            b.error() * 100.0
+        );
+        assert!(
+            b.error() > g.error(),
+            "{}: cold error {:.4} not above warm error {:.4}",
+            b.label,
+            b.error(),
+            g.error()
+        );
+        assert!(
+            b.error() > TOLERANCE,
+            "{}: cold bias {:.2}% under the tolerance",
+            b.label,
+            b.error() * 100.0
+        );
+        // Bias, not noise: the interval is tight around the wrong value.
+        assert!(
+            !b.covered(Z95),
+            "{}: cold CI covers the full-detail IPC",
+            b.label
+        );
+    }
+}
+
+#[test]
+fn assessment_fails_loudly_when_a_window_point_is_missing() {
+    let o = opts();
+    let warm = warmed();
+    // Store only the full-detail references — every workload's windows
+    // are absent, as they would be after their simulations failed.
+    let points: Vec<SimPoint> = validate_workloads()
+        .into_iter()
+        .map(|(kind, index)| full_point(kind, index, &o))
+        .collect();
+    let store = resolve(&points);
+    let err =
+        assess(&o, &warm, TOLERANCE, Z95, &store).expect_err("missing windows must not assess");
+    assert!(err.contains("missing"), "unhelpful error: {err}");
+}

@@ -300,6 +300,31 @@ impl CpiStack {
         CpiLeaf::ALL.into_iter().map(|l| (l, self.get(l)))
     }
 
+    /// Aggregates per-window stacks from sampled simulation into one
+    /// stack plus the total cycle count, rejecting any window whose
+    /// stack does not conserve its own cycles. Because merging is
+    /// cell-wise addition, the aggregate conserves the summed cycles by
+    /// construction — per-window conservation is the only thing that
+    /// can go wrong, so it is the thing checked.
+    pub fn aggregate<'a, I>(windows: I) -> Result<(CpiStack, u64), String>
+    where
+        I: IntoIterator<Item = (&'a CpiStack, u64)>,
+    {
+        let mut agg = CpiStack::default();
+        let mut cycles = 0u64;
+        for (i, (stack, c)) in windows.into_iter().enumerate() {
+            if !stack.conserves(c) {
+                return Err(format!(
+                    "window {i} breaks conservation: {} cycles attributed, {c} simulated",
+                    stack.total()
+                ));
+            }
+            agg.merge(stack);
+            cycles += c;
+        }
+        Ok((agg, cycles))
+    }
+
     /// The stack as a JSON object keyed by `group/leaf` path, every
     /// leaf present (zeros included), in cell order.
     pub fn to_value(&self) -> Value {
@@ -341,6 +366,31 @@ impl CpiStack {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn aggregation_preserves_conservation_and_rejects_broken_windows() {
+        let mut a = CpiStack::default();
+        a.record_n(CpiLeaf::Retire, 70);
+        a.record_n(CpiLeaf::MemL1d, 30);
+        let mut b = CpiStack::default();
+        b.record_n(CpiLeaf::Retire, 50);
+        b.record_n(CpiLeaf::MemDram, 25);
+        let (agg, cycles) = CpiStack::aggregate([(&a, 100), (&b, 75)]).unwrap();
+        assert_eq!(cycles, 175);
+        assert!(agg.conserves(cycles));
+        assert_eq!(agg.get(CpiLeaf::Retire), 120);
+        assert_eq!(agg.get(CpiLeaf::MemL1d), 30);
+        assert_eq!(agg.get(CpiLeaf::MemDram), 25);
+
+        // A window claiming more cycles than its stack attributes is
+        // refused with the window index in the error.
+        let err = CpiStack::aggregate([(&a, 100), (&b, 99)]).unwrap_err();
+        assert!(err.contains("window 1"), "{err}");
+
+        let (empty, zero) = CpiStack::aggregate([]).unwrap();
+        assert_eq!(zero, 0);
+        assert!(empty.conserves(0));
+    }
 
     #[test]
     fn taxonomy_is_complete_and_consistent() {

@@ -10,6 +10,8 @@
 //! * [`Histogram`] — bounded integer histograms (queue occupancy, latency),
 //! * [`RateEstimate`] — confidence-aware comparison of rates estimated
 //!   from partial (screening-length) runs,
+//! * [`SampleStats`] — mean / standard error / confidence intervals over
+//!   sampled-simulation windows,
 //! * [`table::Table`] — plain-text report tables used by the experiment
 //!   harness to print the paper's figures as rows.
 //!
@@ -32,10 +34,12 @@ pub mod confidence;
 pub mod counter;
 pub mod histogram;
 pub mod ratio;
+pub mod sampling;
 pub mod table;
 
 pub use confidence::{Comparison, RateEstimate};
 pub use counter::Counter;
 pub use histogram::Histogram;
 pub use ratio::Ratio;
+pub use sampling::{SampleStats, Z95};
 pub use table::Table;

@@ -1,0 +1,201 @@
+//! Statistical aggregation of sampled-simulation windows.
+//!
+//! Sampled simulation (SMARTS/SimPoint style) times a handful of
+//! detailed windows out of a long trace and treats each window's
+//! per-metric value as one draw from the workload's steady-state
+//! distribution. This module turns those draws into the quantities the
+//! accuracy-validation harness gates on:
+//!
+//! * the **sample mean** — the sampled estimate of the metric,
+//! * the **standard error** `s / sqrt(n)` with the sample standard
+//!   deviation `s` computed over `n - 1` degrees of freedom,
+//! * a **z-interval** `mean ± z · stderr` (the harness uses
+//!   [`Z95`] ≈ 95% coverage, matching the paper's Fig 19 discipline of
+//!   reporting model-vs-machine error with explicit bounds).
+//!
+//! The estimator is deliberately the plain SMARTS one: windows are
+//! equally spaced and equally weighted, so no stratification or
+//! weighting corrections apply. Everything here is pure arithmetic —
+//! identical inputs give identical outputs on every platform.
+
+/// z-score of the two-sided 95% normal interval.
+pub const Z95: f64 = 1.96;
+
+/// Summary statistics over one metric's per-window values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Number of windows aggregated.
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Standard error of the mean (`s / sqrt(n)`, sample stddev over
+    /// `n - 1`); zero when `n < 2` carries no spread information, so a
+    /// single window reports an *infinite* standard error instead —
+    /// one draw separates from nothing.
+    pub stderr: f64,
+    /// Smallest per-window value.
+    pub min: f64,
+    /// Largest per-window value.
+    pub max: f64,
+}
+
+impl SampleStats {
+    /// Aggregates a slice of per-window values. Returns `None` for an
+    /// empty slice (no windows → no estimate).
+    pub fn from_values(values: &[f64]) -> Option<SampleStats> {
+        let n = values.len() as u64;
+        if n == 0 {
+            return None;
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let stderr = if n < 2 {
+            f64::INFINITY
+        } else {
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            (var / n as f64).sqrt()
+        };
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Some(SampleStats {
+            n,
+            mean,
+            stderr,
+            min,
+            max,
+        })
+    }
+
+    /// Half-width of the `z`-sigma interval around the mean.
+    pub fn half_width(&self, z: f64) -> f64 {
+        z * self.stderr
+    }
+
+    /// The `z`-sigma confidence interval `(lo, hi)`.
+    pub fn ci(&self, z: f64) -> (f64, f64) {
+        (
+            self.mean - self.half_width(z),
+            self.mean + self.half_width(z),
+        )
+    }
+
+    /// Whether the `z`-sigma interval covers `value`. A single-window
+    /// estimate has infinite stderr and therefore covers everything —
+    /// honest, if useless, which is exactly why the validation gate
+    /// also bounds the point error.
+    pub fn covers(&self, value: f64, z: f64) -> bool {
+        let (lo, hi) = self.ci(z);
+        lo <= value && value <= hi
+    }
+
+    /// The delta-method statistics of the metric's reciprocal: mean
+    /// `1/m`, standard error `s / m²`, extremes swapped and inverted.
+    /// `None` when the mean is zero (no reciprocal exists).
+    ///
+    /// This is how the harness turns per-window CPI into an IPC
+    /// estimate. Windows commit equal record counts, so the mean
+    /// per-window CPI *is* the ratio estimator total-cycles /
+    /// total-committed; averaging per-window IPC directly would be the
+    /// biased mean-of-ratios (Jensen's inequality strikes on any
+    /// workload whose phases differ).
+    pub fn reciprocal(&self) -> Option<SampleStats> {
+        if self.mean == 0.0 {
+            return None;
+        }
+        Some(SampleStats {
+            n: self.n,
+            mean: 1.0 / self.mean,
+            stderr: self.stderr / (self.mean * self.mean),
+            min: 1.0 / self.max,
+            max: 1.0 / self.min,
+        })
+    }
+
+    /// Relative error of the mean against a reference value, as a
+    /// fraction (`0.02` = 2%). Infinite for a zero reference.
+    pub fn relative_error(&self, reference: f64) -> f64 {
+        if reference == 0.0 {
+            f64::INFINITY
+        } else {
+            (self.mean - reference).abs() / reference.abs()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_estimate() {
+        assert_eq!(SampleStats::from_values(&[]), None);
+    }
+
+    #[test]
+    fn single_window_covers_everything_but_never_separates() {
+        let s = SampleStats::from_values(&[1.5]).unwrap();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 1.5);
+        assert!(s.stderr.is_infinite());
+        assert!(s.covers(0.0, Z95) && s.covers(1e9, Z95));
+    }
+
+    #[test]
+    fn mean_and_stderr_match_hand_computation() {
+        // values 2, 4, 4, 4, 5, 5, 7, 9: mean 5, sample var 32/7.
+        let s = SampleStats::from_values(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        let expect = (32.0 / 7.0_f64 / 8.0).sqrt();
+        assert!((s.stderr - expect).abs() < 1e-12);
+        assert_eq!((s.min, s.max), (2.0, 9.0));
+    }
+
+    #[test]
+    fn stderr_shrinks_with_more_windows() {
+        let few: Vec<f64> = (0..4).map(|i| (i % 2) as f64).collect();
+        let many: Vec<f64> = (0..64).map(|i| (i % 2) as f64).collect();
+        let a = SampleStats::from_values(&few).unwrap();
+        let b = SampleStats::from_values(&many).unwrap();
+        assert!(b.stderr < a.stderr, "1/sqrt(n) scaling");
+        // ~4x for 16x the windows (inexact: n-1 variance normalisation).
+        let ratio = a.stderr / b.stderr;
+        assert!((3.5..=5.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn interval_covers_its_own_mean_and_respects_z() {
+        let s = SampleStats::from_values(&[1.0, 1.1, 0.9, 1.05, 0.95]).unwrap();
+        assert!(s.covers(s.mean, 0.0));
+        let (lo, hi) = s.ci(Z95);
+        assert!(lo < s.mean && s.mean < hi);
+        assert!(s.half_width(3.0) > s.half_width(Z95));
+        assert!(!s.covers(hi + 1e-9, Z95));
+    }
+
+    #[test]
+    fn reciprocal_is_the_ratio_estimator_for_equal_size_windows() {
+        // Two windows of 100 committed records each: 400 and 200 cycles.
+        // Aggregate IPC is 200/600 = 1/3 — the reciprocal of mean CPI —
+        // while the naive mean of per-window IPC is (0.25 + 0.5)/2.
+        let cpi = SampleStats::from_values(&[4.0, 2.0]).unwrap();
+        let ipc = cpi.reciprocal().unwrap();
+        assert!((ipc.mean - 1.0 / 3.0).abs() < 1e-12);
+        assert!((ipc.stderr - cpi.stderr / 9.0).abs() < 1e-12);
+        assert_eq!((ipc.min, ipc.max), (0.25, 0.5));
+        assert_eq!(ipc.n, 2);
+        assert_eq!(SampleStats::from_values(&[0.0]).unwrap().reciprocal(), None);
+    }
+
+    #[test]
+    fn relative_error_is_symmetric_in_sign() {
+        let s = SampleStats::from_values(&[1.02, 1.02]).unwrap();
+        assert!((s.relative_error(1.0) - 0.02).abs() < 1e-12);
+        let t = SampleStats::from_values(&[0.98, 0.98]).unwrap();
+        assert!((t.relative_error(1.0) - 0.02).abs() < 1e-12);
+        assert!(s.relative_error(0.0).is_infinite());
+    }
+}

@@ -37,5 +37,6 @@ pub mod text;
 
 pub use builder::TraceBuilder;
 pub use record::TraceRecord;
+pub use sample::{IntervalSample, SamplePlan, SkipWarmup};
 pub use stream::{SliceStream, TraceStream, VecTrace};
 pub use summary::TraceSummary;

@@ -47,11 +47,28 @@ cargo run --release -p s64v-harness --bin campaign -- \
     > /dev/null 2> "$scratch/campaign.txt"
 grep '^campaign:' "$scratch/campaign.txt"
 
+echo "== sampled-simulation A/B (long trace, sparse windows, cold cache)"
+# The same figure workloads at a long trace, full detail vs four sparse
+# 20 000-record windows with bounded warm-up — the geometry where
+# sampling pays. The accuracy gate is EXPECTED to fail here (sparse
+# coverage has real sampling variance; the CI covers it, the 2% point
+# gate does not always), so only the timing epilogue is kept; accuracy
+# at the committed validation geometry is CI's job (scripts/ci.sh).
+S64V_RECORDS=6000000 S64V_WARMUP=100000 S64V_SEED=42 \
+S64V_RESULTS_DIR="$scratch/results" \
+cargo run --release -p s64v-harness --bin campaign -- \
+    validate --windows 4 --window 20000 --sample-warmup 300000 \
+    --no-cache --quiet \
+    > /dev/null 2> "$scratch/validate.txt" || true
+grep '^validate: full-detail' "$scratch/validate.txt"
+
 # Assemble the snapshot. The bench lines look like
 #   sim_speed/SPECint95: 12.345 ms/iter, 2430000 elem/s, 99000000 cycles/s
 #   trace_generation/SPECint95: 2.345 ms/iter, 42000000 elem/s
-# and the campaign epilogue like
+# the campaign epilogue like
 #   campaign: 12 completed (0 from cache), 0 failed, 0.42M records simulated in 1.3s (320K rec/s)
+# and the validate epilogue like
+#   validate: full-detail 123.4s (2100K rec/s), sampled 21.3s (12100K rec/s), speedup 5.8x
 awk -v n="$n" -v date="$(date -u +%Y-%m-%d)" -v rev="$rev" -v branch="$branch" \
     -v dirty="$dirty" -v cores="$cores" '
 FILENAME ~ /bench.txt/ && /elem\/s/ {
@@ -73,6 +90,24 @@ FILENAME ~ /campaign.txt/ && /^campaign:/ {
         e2e = substr($0, RSTART + 1, RLENGTH - 9) * 1000
     }
 }
+FILENAME ~ /validate.txt/ && /^validate: full-detail/ {
+    line = $0
+    if (match(line, /full-detail [0-9.]+s/)) {
+        vfull = substr(line, RSTART + 12, RLENGTH - 13) + 0
+    }
+    if (match(line, /sampled [0-9.]+s/)) {
+        vsampled = substr(line, RSTART + 8, RLENGTH - 9) + 0
+    }
+    if (match(line, /sampled [0-9.]+s \([0-9]+K rec\/s\)/)) {
+        seg = substr(line, RSTART, RLENGTH)
+        if (match(seg, /\([0-9]+K/)) {
+            vrate = substr(seg, RSTART + 1, RLENGTH - 2) * 1000
+        }
+    }
+    if (match(line, /speedup [0-9.]+x/)) {
+        vspeed = substr(line, RSTART + 8, RLENGTH - 9) + 0
+    }
+}
 END {
     printf "{\n"
     printf "  \"snapshot\": %s,\n", n
@@ -91,9 +126,16 @@ END {
     printf "  \"end_to_end\": {\n"
     printf "    \"figure\": \"fig08_issue_width\",\n"
     printf "    \"records_per_second\": %s\n", (e2e ? e2e : "null")
+    printf "  },\n"
+    printf "  \"sampled\": {\n"
+    printf "    \"geometry\": \"records=6000000 warmup=100000 windows=4 window=20000 sample_warmup=300000\",\n"
+    printf "    \"full_seconds\": %s,\n", (vfull ? vfull : "null")
+    printf "    \"sampled_seconds\": %s,\n", (vsampled ? vsampled : "null")
+    printf "    \"records_per_second\": %s,\n", (vrate ? vrate : "null")
+    printf "    \"speedup\": %s\n", (vspeed ? vspeed : "null")
     printf "  }\n"
     printf "}\n"
-}' "$scratch/bench.txt" "$scratch/campaign.txt" > "$out"
+}' "$scratch/bench.txt" "$scratch/campaign.txt" "$scratch/validate.txt" > "$out"
 
 rm -rf "$scratch"
 echo "wrote $out"

@@ -79,6 +79,42 @@ cargo run --release -p s64v-harness --bin campaign -- \
     --check-artifact "$EXPLORE_SCRATCH"/cache/*.explore.json > /dev/null 2>&1
 rm -rf "$EXPLORE_SCRATCH"
 
+echo "== sampled-simulation accuracy smoke (gate + golden + negative control)"
+# A reduced-size `campaign validate` A/B at the committed smoke geometry
+# (small timed region, production-depth functional warm, three windows
+# tiling it). Three things must hold: the gate passes and its JSON
+# report is byte-identical to specs/ci_sampling.golden.json (the
+# assessment is a deterministic function of sizes, seed and geometry);
+# every per-workload aggregate .sampled.cpi.json validates as a
+# first-class artifact; and the --under-warm negative control FAILS —
+# proving the gate still detects insufficient warming, not just that
+# the happy path stays green. The second run shares the cache, so the
+# full-detail references cache-hit and only the cold windows resimulate.
+SAMPLING_SCRATCH=target/ci-sampling
+rm -rf "$SAMPLING_SCRATCH"
+mkdir -p "$SAMPLING_SCRATCH"
+S64V_RECORDS=45000 S64V_WARMUP=2000000 S64V_SEED=42 \
+S64V_RESULTS_DIR="$SAMPLING_SCRATCH/results" \
+cargo run --release -p s64v-harness --bin campaign -- \
+    validate --windows 3 --window 15000 \
+    --out "$SAMPLING_SCRATCH/report.json" \
+    --cache-dir "$SAMPLING_SCRATCH/cache" --quiet > /dev/null
+diff specs/ci_sampling.golden.json "$SAMPLING_SCRATCH/report.json"
+set --
+for artifact in "$SAMPLING_SCRATCH"/cache/*.sampled.cpi.json; do
+    set -- "$@" --check-artifact "$artifact"
+done
+cargo run --release -p s64v-harness --bin campaign -- "$@" > /dev/null 2>&1
+if S64V_RECORDS=45000 S64V_WARMUP=2000000 S64V_SEED=42 \
+   S64V_RESULTS_DIR="$SAMPLING_SCRATCH/results" \
+   cargo run --release -p s64v-harness --bin campaign -- \
+       validate --windows 3 --window 15000 --under-warm \
+       --cache-dir "$SAMPLING_SCRATCH/cache" --quiet > /dev/null 2>&1; then
+    echo "sampling-smoke: under-warmed windows passed the gate" >&2
+    exit 1
+fi
+rm -rf "$SAMPLING_SCRATCH"
+
 echo "== bench smoke (simulator throughput vs committed floor)"
 # Reduced-size sim_speed run compared against specs/bench_floor.json:
 # a suite more than 30% below its floor fails the gate, so kernel

@@ -167,6 +167,82 @@ fn writes_are_exclusive() {
     }
 }
 
+mod sampling_props {
+    use super::arb_trace;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sparc64v::trace::{IntervalSample, SkipWarmup, TraceRecord, TraceStream};
+
+    fn drain(mut s: impl TraceStream) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        while let Some(r) = s.next_record() {
+            out.push(r);
+        }
+        out
+    }
+
+    /// Records an `IntervalSample(window, period)` keeps out of `n`.
+    fn kept(n: u64, window: u64, period: u64) -> u64 {
+        (n / period) * window + (n % period).min(window)
+    }
+
+    #[test]
+    fn skip_and_interval_compose_to_the_closed_form_in_both_orders() {
+        let mut rng = StdRng::seed_from_u64(0x5a3);
+        for case in 0..128 {
+            let trace = arb_trace(&mut rng, 300);
+            let n = trace.len() as u64;
+            let period = rng.gen_range(1..40u64);
+            let window = rng.gen_range(1..=period);
+            let warmup = rng.gen_range(0..80u64);
+
+            // Skip over the sampled stream: warm-up is paid in *kept*
+            // records.
+            let outer =
+                SkipWarmup::new(IntervalSample::new(trace.stream(), window, period), warmup);
+            let expect = kept(n, window, period).saturating_sub(warmup);
+            assert_eq!(
+                outer.remaining_hint(),
+                Some(expect),
+                "case {case}: hint (skip∘sample) n={n} w={window} p={period} k={warmup}"
+            );
+            assert_eq!(
+                drain(outer).len() as u64,
+                expect,
+                "case {case}: drained (skip∘sample) n={n} w={window} p={period} k={warmup}"
+            );
+
+            // Sample over the skipped stream: warm-up is paid in *raw*
+            // records before sampling starts.
+            let inner =
+                IntervalSample::new(SkipWarmup::new(trace.stream(), warmup), window, period);
+            let expect = kept(n.saturating_sub(warmup), window, period);
+            assert_eq!(
+                inner.remaining_hint(),
+                Some(expect),
+                "case {case}: hint (sample∘skip) n={n} w={window} p={period} k={warmup}"
+            );
+            assert_eq!(
+                drain(inner).len() as u64,
+                expect,
+                "case {case}: drained (sample∘skip) n={n} w={window} p={period} k={warmup}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_window_sampling_is_the_identity_on_any_trace() {
+        let mut rng = StdRng::seed_from_u64(0x1d3);
+        for case in 0..64 {
+            let trace = arb_trace(&mut rng, 250);
+            let period = rng.gen_range(1..50u64);
+            let sampled = drain(IntervalSample::new(trace.stream(), period, period));
+            let raw = drain(trace.stream());
+            assert_eq!(sampled, raw, "case {case}: period {period}");
+        }
+    }
+}
+
 mod simulator_props {
     use sparc64v::model::{PerformanceModel, SystemConfig};
     use sparc64v::workloads::{Suite, SuiteKind};
